@@ -1,0 +1,97 @@
+package fasttts
+
+// One testing.B benchmark per paper figure: each regenerates the figure's
+// data series from the simulated serving stack, so `go test -bench=.`
+// re-runs the complete evaluation. The reported metric is wall-clock time
+// to reproduce the figure (simulation speed); the figure contents
+// themselves are written by cmd/fastttsbench and validated by the shape
+// tests in internal/bench.
+
+import (
+	"testing"
+
+	"fasttts/internal/bench"
+)
+
+// benchOpts keeps -bench=. runs fast while exercising every code path;
+// cmd/fastttsbench regenerates figures at full scale.
+func benchOpts() bench.RunOpts {
+	return bench.RunOpts{Problems: 3, Seed: 42, MaxN: 128}
+}
+
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	fig, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := fig.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatalf("figure %s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig01aMemoryTable(b *testing.B)     { runFigure(b, "1a") }
+func BenchmarkFig01bLatencyFrontier(b *testing.B) { runFigure(b, "1b") }
+func BenchmarkFig03LeftAccLatency(b *testing.B)   { runFigure(b, "3l") }
+func BenchmarkFig03RightStepTokens(b *testing.B)  { runFigure(b, "3r") }
+func BenchmarkFig04UtilPhases(b *testing.B)       { runFigure(b, "4") }
+func BenchmarkFig05LeftPrefixMemory(b *testing.B) { runFigure(b, "5l") }
+func BenchmarkFig05RightHeatmap(b *testing.B)     { runFigure(b, "5r") }
+func BenchmarkFig06ThroughputVsKV(b *testing.B)   { runFigure(b, "6") }
+func BenchmarkFig10RooflineAlloc(b *testing.B)    { runFigure(b, "10") }
+func BenchmarkFig11SearchVariants(b *testing.B)   { runFigure(b, "11") }
+func BenchmarkFig12Goodput(b *testing.B)          { runFigure(b, "12") }
+func BenchmarkFig13Latency(b *testing.B)          { runFigure(b, "13") }
+func BenchmarkFig14aTop1(b *testing.B)            { runFigure(b, "14a") }
+func BenchmarkFig14bPassN(b *testing.B)           { runFigure(b, "14b") }
+func BenchmarkFig15ConstrainedHW(b *testing.B)    { runFigure(b, "15") }
+func BenchmarkFig16Ablation(b *testing.B)         { runFigure(b, "16") }
+func BenchmarkFig17LeftUtil(b *testing.B)         { runFigure(b, "17l") }
+func BenchmarkFig17RightTruncation(b *testing.B)  { runFigure(b, "17r") }
+func BenchmarkFig18LeftSchedulers(b *testing.B)   { runFigure(b, "18l") }
+func BenchmarkFig18RightMemoryGain(b *testing.B)  { runFigure(b, "18r") }
+
+// BenchmarkSolveBeamSearch measures raw simulation throughput of one
+// beam-search solve (the unit every figure is built from).
+func BenchmarkSolveBeamSearch(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(itoa(n), func(b *testing.B) {
+			sys, err := New(Config{NumBeams: n, Seed: 42})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds, err := LoadDataset("AIME24", 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Solve(ds.Problems[i%len(ds.Problems)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

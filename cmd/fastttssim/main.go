@@ -1,0 +1,91 @@
+// Command fastttssim runs a single TTS query on the simulated edge
+// serving stack and prints the full result: latency breakdown, goodput,
+// cache and speculation statistics, and the answer.
+//
+// Usage:
+//
+//	fastttssim -dataset AIME24 -problem 0 -n 64 -alg "Beam Search"
+//	fastttssim -mode baseline -gpu "RTX 3070 Ti" -offload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fasttts"
+)
+
+func main() {
+	var (
+		gpu     = flag.String("gpu", "RTX 4090", "GPU: RTX 4090, RTX 4070 Ti, RTX 3070 Ti")
+		pair    = flag.String("pair", "1.5B+1.5B", "model pair: 1.5B+1.5B, 1.5B+7B, 7B+1.5B")
+		alg     = flag.String("alg", "Beam Search", "search algorithm")
+		n       = flag.Int("n", 64, "number of beams")
+		b       = flag.Int("b", 4, "branching factor")
+		mode    = flag.String("mode", "fasttts", "fasttts or baseline")
+		dataset = flag.String("dataset", "AIME24", "dataset: AIME24, AMC23, MATH500, HumanEval")
+		problem = flag.Int("problem", 0, "problem index")
+		seed    = flag.Uint64("seed", 42, "random seed")
+		offload = flag.Bool("offload", false, "allow KV offloading to host memory")
+		both    = flag.Bool("both", false, "run baseline and FastTTS and compare")
+	)
+	flag.Parse()
+
+	ds, err := fasttts.LoadDataset(*dataset, 7)
+	if err != nil {
+		fatal(err)
+	}
+	if *problem < 0 || *problem >= len(ds.Problems) {
+		fatal(fmt.Errorf("problem index %d outside [0,%d)", *problem, len(ds.Problems)))
+	}
+	p := ds.Problems[*problem]
+	fmt.Printf("problem %s #%d  difficulty %.2f\n", p.Dataset, p.Index, p.Difficulty)
+
+	modes := []fasttts.Mode{fasttts.Mode(*mode)}
+	if *both {
+		modes = []fasttts.Mode{fasttts.ModeBaseline, fasttts.ModeFastTTS}
+	}
+	var results []*fasttts.Result
+	for _, m := range modes {
+		sys, err := fasttts.New(fasttts.Config{
+			GPU:          *gpu,
+			Pair:         fasttts.Pair(*pair),
+			Algorithm:    *alg,
+			NumBeams:     *n,
+			BranchFactor: *b,
+			Mode:         m,
+			AllowOffload: *offload,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res, err := sys.Solve(p)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+		fmt.Printf("\n=== %s ===\n", m)
+		fmt.Printf("latency        %10.2f s  (generator %.2f, verifier %.2f, transfers %.2f)\n",
+			res.Latency, res.GenLatency, res.VerLatency, res.TransferLatency)
+		fmt.Printf("goodput        %10.2f tokens/s\n", res.Goodput)
+		fmt.Printf("iterations     %10d\n", res.Iterations)
+		fmt.Printf("paths          %10d  (top-1 correct: %v, pass@8: %v)\n",
+			len(res.Paths), res.Top1Correct(), res.PassAtN(8))
+		fmt.Printf("speculation    %10d tokens decoded, %d retained\n",
+			res.SpecTokens, res.SpecRetained)
+		fmt.Printf("recompute      %10d tokens re-prefilled after eviction\n",
+			res.RecomputedTokens)
+	}
+	if len(results) == 2 {
+		fmt.Printf("\nFastTTS vs baseline: %.2fx goodput, %.0f%% latency cut\n",
+			results[1].Goodput/results[0].Goodput,
+			100*(1-results[1].Latency/results[0].Latency))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fastttssim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+package fasttts_test
+
+import (
+	"fmt"
+	"log"
+
+	"fasttts"
+)
+
+// The quickstart: build a FastTTS deployment and solve one problem.
+func Example() {
+	sys, err := fasttts.New(fasttts.Config{
+		GPU:       "RTX 4090",
+		Pair:      fasttts.Pair1_5B1_5B,
+		Algorithm: "Beam Search",
+		NumBeams:  16,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := fasttts.LoadDataset("AIME24", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Solve(ds.Problems[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Goodput > 0, len(res.Paths) > 0, res.Iterations > 0)
+	// Output: true true true
+}
+
+// Comparing the vLLM-style baseline against FastTTS on the same problem:
+// the answers are identical (algorithmic equivalence), only speed changes.
+func Example_baselineComparison() {
+	ds, _ := fasttts.LoadDataset("AMC23", 7)
+	run := func(mode fasttts.Mode) *fasttts.Result {
+		sys, err := fasttts.New(fasttts.Config{NumBeams: 16, Mode: mode, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Solve(ds.Problems[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	base := run(fasttts.ModeBaseline)
+	fast := run(fasttts.ModeFastTTS)
+	fmt.Println(fast.Latency < base.Latency)
+	fmt.Println(base.Top1Correct() == fast.Top1Correct())
+	// Output:
+	// true
+	// true
+}
+
+// Serving a request stream with the two-phase preemptible scheduler.
+func ExampleServer() {
+	ds, _ := fasttts.LoadDataset("AMC23", 7)
+	srv, err := fasttts.NewServer(fasttts.Config{NumBeams: 16, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := srv.Run([]fasttts.Request{
+		{Problem: ds.Problems[0], ArrivalTime: 0},
+		{Problem: ds.Problems[1], ArrivalTime: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(out), out[1].QueueDelay > 0)
+	// Output: 2 true
+}

@@ -1,0 +1,74 @@
+// codegen runs FastTTS on the HumanEval code-generation workload (paper
+// §6.4, Fig 15 right): reasoning steps are shorter and more uniform than
+// competition math, but the verifier-guided search pattern — and the
+// FastTTS speedups — transfer.
+//
+//	go run ./examples/codegen [-problems 12]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fasttts"
+)
+
+func main() {
+	problems := flag.Int("problems", 12, "HumanEval tasks to evaluate")
+	flag.Parse()
+
+	ds, err := fasttts.LoadDataset("HumanEval", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	subset := ds.Subset(*problems)
+
+	fmt.Println("HumanEval code generation on an RTX 4090, beam search, 1.5B+1.5B")
+	fmt.Printf("%6s %12s %12s %10s %12s\n", "n", "baseline", "fasttts", "speedup", "pass@8")
+	for _, n := range []int{8, 32, 128} {
+		base, err := run(fasttts.ModeBaseline, n, subset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fast, err := run(fasttts.ModeFastTTS, n, subset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pass8 := 0
+		for _, r := range fast {
+			if r.PassAtN(8) {
+				pass8++
+			}
+		}
+		bg := fasttts.Summarize(base).MeanGoodput
+		fg := fasttts.Summarize(fast).MeanGoodput
+		fmt.Printf("%6d %8.2f t/s %8.2f t/s %9.2fx %10.1f%%\n",
+			n, bg, fg, fg/bg, 100*float64(pass8)/float64(len(fast)))
+	}
+	fmt.Println("\nThe paper reports 1.3x-1.8x goodput speedups on HumanEval (Fig 15):")
+	fmt.Println("the irregular-step and prefix-sharing structure FastTTS exploits is not")
+	fmt.Println("specific to math reasoning.")
+}
+
+func run(mode fasttts.Mode, n int, problems []*fasttts.Problem) ([]*fasttts.Result, error) {
+	sys, err := fasttts.New(fasttts.Config{
+		Pair:      fasttts.Pair1_5B1_5B,
+		Algorithm: "Beam Search",
+		NumBeams:  n,
+		Mode:      mode,
+		Seed:      42,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*fasttts.Result
+	for _, p := range problems {
+		res, err := sys.Solve(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

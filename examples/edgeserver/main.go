@@ -1,0 +1,73 @@
+// edgeserver demonstrates the two-phase preemptible scheduler (paper
+// §4.1.2) serving a stream of interactive reasoning requests on an edge
+// GPU, and the offloading path on an 8 GB device (paper §4.3.2, Fig 15).
+//
+//	go run ./examples/edgeserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fasttts"
+)
+
+func main() {
+	ds, err := fasttts.LoadDataset("AMC23", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Two-phase scheduling under load (RTX 4090) ===")
+	srv, err := fasttts.NewServer(fasttts.Config{
+		Pair:     fasttts.Pair1_5B1_5B,
+		NumBeams: 64,
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Request 2 arrives while request 1 is mid-flight: request 1's
+	// speculative phase is preempted from that moment. Request 3 arrives
+	// long after, so request 2 speculates freely.
+	served, err := srv.Run([]fasttts.Request{
+		{Problem: ds.Problems[0], ArrivalTime: 0},
+		{Problem: ds.Problems[1], ArrivalTime: 4},
+		{Problem: ds.Problems[2], ArrivalTime: 500},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%4s %9s %8s %8s %9s %12s %14s\n",
+		"req", "arrival", "start", "finish", "queued", "latency", "spec tokens")
+	for i, sv := range served {
+		fmt.Printf("%4d %8.1fs %7.1fs %7.1fs %8.1fs %11.1fs %14d\n",
+			i+1, sv.ArrivalTime, sv.StartTime, sv.FinishTime,
+			sv.QueueDelay, sv.Latency, sv.SpecTokens)
+	}
+	fmt.Println("\nRequest 1 stops speculating the moment request 2 arrives (preemption);")
+	fmt.Println("request 3 faces an empty queue and speculates freely.")
+
+	fmt.Println("\n=== Offloading on an 8 GB RTX 3070 Ti ===")
+	for _, gpu := range []string{"RTX 4090", "RTX 4070 Ti", "RTX 3070 Ti"} {
+		sys, err := fasttts.New(fasttts.Config{
+			GPU:          gpu,
+			Pair:         fasttts.Pair1_5B1_5B,
+			NumBeams:     32,
+			AllowOffload: true,
+			Seed:         42,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Solve(ds.Problems[0])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s latency %7.1fs  goodput %6.2f tok/s  offload PCIe time %5.1fs\n",
+			gpu, res.Latency, res.Goodput, res.TransferLatency)
+	}
+	fmt.Println("\nThe §4.3.2 dual-strategy allocator engages offloading only when the")
+	fmt.Println("transfer cost beats partitioned batching; with the compact 1.5B pair,")
+	fmt.Println("partitioning usually suffices even at 8 GB (zero PCIe time above).")
+}

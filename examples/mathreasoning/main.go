@@ -1,0 +1,72 @@
+// mathreasoning compares TTS search algorithms on AIME 2024 — the
+// accuracy/latency trade-off of Fig 3 — and shows how test-time compute
+// (the number of beams n) buys accuracy on hard math (the motivation of
+// paper §1: matching cloud-model accuracy on an edge GPU).
+//
+//	go run ./examples/mathreasoning [-problems 12] [-n 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fasttts"
+)
+
+func main() {
+	problems := flag.Int("problems", 10, "AIME problems to evaluate")
+	maxN := flag.Int("n", 128, "largest beam count in the scaling sweep")
+	flag.Parse()
+
+	ds, err := fasttts.LoadDataset("AIME24", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	subset := ds.Subset(*problems)
+
+	fmt.Println("=== TTS algorithms at n=64 (FastTTS serving) ===")
+	fmt.Printf("%-20s %10s %12s %10s\n", "algorithm", "latency", "goodput", "top-1")
+	for _, alg := range []string{"Best-of-N", "Beam Search", "DVTS", "Dynamic Branching"} {
+		sum, err := evaluate(alg, 64, subset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %9.1fs %9.2f t/s %9.1f%%\n",
+			alg, sum.MeanLatency, sum.MeanGoodput, sum.Top1Accuracy)
+	}
+
+	fmt.Printf("\n=== Test-time scaling: beam search accuracy vs n ===\n")
+	fmt.Printf("%6s %10s %12s %10s\n", "n", "latency", "goodput", "top-1")
+	for n := 8; n <= *maxN; n *= 4 {
+		sum, err := evaluate("Beam Search", n, subset)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %9.1fs %9.2f t/s %9.1f%%\n",
+			n, sum.MeanLatency, sum.MeanGoodput, sum.Top1Accuracy)
+	}
+	fmt.Println("\nMore parallel reasoning paths raise accuracy at the cost of latency —")
+	fmt.Println("FastTTS's job is to push that latency down (see examples/quickstart).")
+}
+
+func evaluate(alg string, n int, problems []*fasttts.Problem) (fasttts.Summary, error) {
+	sys, err := fasttts.New(fasttts.Config{
+		Pair:      fasttts.Pair1_5B1_5B,
+		Algorithm: alg,
+		NumBeams:  n,
+		Seed:      42,
+	})
+	if err != nil {
+		return fasttts.Summary{}, err
+	}
+	var results []*fasttts.Result
+	for _, p := range problems {
+		res, err := sys.Solve(p)
+		if err != nil {
+			return fasttts.Summary{}, err
+		}
+		results = append(results, res)
+	}
+	return fasttts.Summarize(results), nil
+}

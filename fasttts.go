@@ -1,0 +1,230 @@
+// Package fasttts is a from-scratch reproduction of FastTTS, the serving
+// system for fast Test-Time Scaling (TTS) on memory-constrained edge
+// devices (ASPLOS '26). It provides a plug-and-play API for running
+// verifier-guided reasoning searches — Best-of-N, Beam Search, DVTS,
+// Dynamic Branching, Varying Granularity — over a simulated edge serving
+// stack with the paper's three optimizations:
+//
+//   - Speculative Beam Extension (§4.1) hides straggler latency by
+//     generating future reasoning steps in idle batch slots;
+//   - Dynamic Prefix-Aware Scheduling (§4.2) orders reasoning paths to
+//     maximize KV-cache reuse;
+//   - Asymmetric Multi-Model Memory Allocation (§4.3) splits KV memory
+//     between generator and verifier with a roofline-guided search.
+//
+// Because no GPU, CUDA stack, or model weights are available in this
+// environment, the neural-network arithmetic is replaced by a
+// deterministic discrete-virtual-time simulation calibrated with a
+// roofline cost model (see DESIGN.md for the substitution argument);
+// every serving mechanism — paged radix-tree KV caching, continuous
+// batching, preemption, offloading — is implemented for real.
+//
+// Quickstart:
+//
+//	sys, err := fasttts.New(fasttts.Config{
+//		GPU:       "RTX 4090",
+//		Pair:      fasttts.Pair1_5B1_5B,
+//		Algorithm: "Beam Search",
+//		NumBeams:  64,
+//	})
+//	ds, _ := fasttts.LoadDataset("AIME24", 7)
+//	res, err := sys.Solve(ds.Problems[0])
+//	fmt.Printf("goodput %.1f tok/s, latency %.1fs\n", res.Goodput, res.Latency)
+package fasttts
+
+import (
+	"fmt"
+
+	"fasttts/internal/core"
+	"fasttts/internal/hw"
+	"fasttts/internal/model"
+	"fasttts/internal/search"
+	"fasttts/internal/trace"
+	"fasttts/internal/workload"
+)
+
+// Pair names a generator+verifier deployment from the paper (§6.1).
+type Pair string
+
+const (
+	// Pair1_5B1_5B is the memory-constrained configuration:
+	// Qwen2.5-Math-1.5B generator + Skywork-o1-Open-PRM-1.5B verifier.
+	Pair1_5B1_5B Pair = "1.5B+1.5B"
+	// Pair1_5B7B is the verifier-heavy configuration:
+	// Qwen2.5-Math-1.5B generator + Math-Shepherd-Mistral-7B verifier.
+	Pair1_5B7B Pair = "1.5B+7B"
+	// Pair7B1_5B is the generator-heavy configuration:
+	// Qwen2.5-Math-7B generator + Skywork-o1-Open-PRM-1.5B verifier.
+	Pair7B1_5B Pair = "7B+1.5B"
+)
+
+// Mode selects the serving system variant.
+type Mode string
+
+const (
+	// ModeFastTTS enables all three optimizations (the paper's system).
+	ModeFastTTS Mode = "fasttts"
+	// ModeBaseline is the vLLM-style baseline (§6.1).
+	ModeBaseline Mode = "baseline"
+)
+
+// Config configures a serving deployment. Zero values select sensible
+// defaults: RTX 4090, the 1.5B+1.5B pair, beam search with n=64, B=4,
+// FastTTS mode.
+type Config struct {
+	// GPU is the device name: "RTX 4090", "RTX 4070 Ti", or "RTX 3070 Ti".
+	GPU string
+	// Pair selects the generator/verifier models.
+	Pair Pair
+	// Algorithm is the TTS search method: "Best-of-N", "Beam Search",
+	// "DVTS", "Dynamic Branching", "Varying Granularity", or "CoT".
+	Algorithm string
+	// NumBeams is n, the search width; BranchFactor is B.
+	NumBeams     int
+	BranchFactor int
+	// Mode selects FastTTS or the baseline; Advanced (optional)
+	// overrides individual optimization toggles for ablations.
+	Mode     Mode
+	Advanced *Optimizations
+	// MemoryFraction is the usable share of VRAM (default: 0.4 for the
+	// 1.5B+1.5B pair as in the paper's memory-constrained setup, 0.9
+	// otherwise).
+	MemoryFraction float64
+	// KVBudgetBytes, when positive, pins the KV budget directly
+	// (memory-sweep experiments).
+	KVBudgetBytes int64
+	// AllowOffload enables CPU offloading of the inactive model's KV
+	// (required on 8 GB devices).
+	AllowOffload bool
+	// Seed drives all randomness; equal seeds give bit-identical runs.
+	Seed uint64
+	// Recorder, when set, captures per-kernel utilization samples.
+	Recorder *trace.Recorder
+}
+
+// Optimizations exposes the ablation toggles (Fig 16's P/M/S axes).
+type Optimizations struct {
+	SpeculativeBeamExtension bool    // S
+	PrefixAwareScheduling    bool    // P (implies generator prefix caching)
+	AsymmetricMemory         bool    // M
+	LookAheadVerification    bool    // part of S
+	TruncationRatio          float64 // R (Fig 17 right)
+	SpecBins                 int     // score bins for candidate selection
+}
+
+// System is a configured serving deployment. It is safe to reuse across
+// problems; every Solve runs on a fresh virtual serving stack.
+type System struct {
+	cfg    core.Config
+	runner *core.Runner
+}
+
+// New validates the configuration and builds the system.
+func New(c Config) (*System, error) {
+	cc, err := buildCoreConfig(c)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := core.NewRunner(cc)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cc, runner: runner}, nil
+}
+
+func buildCoreConfig(c Config) (core.Config, error) {
+	if c.GPU == "" {
+		c.GPU = "RTX 4090"
+	}
+	gpu, err := hw.ByName(c.GPU)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if c.Pair == "" {
+		c.Pair = Pair1_5B1_5B
+	}
+	gen, genSkill, ver, verSkill, err := resolvePair(c.Pair)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = string(search.BeamSearch)
+	}
+	if c.NumBeams == 0 {
+		c.NumBeams = 64
+	}
+	if c.BranchFactor == 0 {
+		c.BranchFactor = 4
+	}
+	pol, err := search.New(search.Algorithm(c.Algorithm), c.NumBeams, c.BranchFactor)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if c.MemoryFraction == 0 {
+		if c.Pair == Pair1_5B1_5B && gpu.Name == hw.RTX4090.Name {
+			// The paper's memory-constrained setting: the 1.5B pair is
+			// restricted to 40% of the 4090 (§6.1). Smaller devices are
+			// constrained by their VRAM already.
+			c.MemoryFraction = 0.4
+		} else {
+			c.MemoryFraction = 0.9
+		}
+	}
+	var opts core.Options
+	switch {
+	case c.Advanced != nil:
+		opts = core.Options{
+			Speculative:          c.Advanced.SpeculativeBeamExtension,
+			PrefixAware:          c.Advanced.PrefixAwareScheduling,
+			AsymmetricMemory:     c.Advanced.AsymmetricMemory,
+			LookAhead:            c.Advanced.LookAheadVerification,
+			VerifierPrefixCache:  c.Advanced.PrefixAwareScheduling,
+			GeneratorPrefixCache: c.Advanced.PrefixAwareScheduling,
+			TruncationRatio:      c.Advanced.TruncationRatio,
+			SpecBins:             c.Advanced.SpecBins,
+		}
+	case c.Mode == ModeBaseline:
+		opts = core.BaselineOptions()
+	default:
+		opts = core.FastTTSOptions()
+	}
+	opts.AllowOffload = c.AllowOffload
+	return core.Config{
+		GPU:              gpu,
+		Generator:        gen,
+		GenSkill:         genSkill,
+		Verifier:         ver,
+		VerSkill:         verSkill,
+		MemoryFraction:   c.MemoryFraction,
+		KVBudgetOverride: c.KVBudgetBytes,
+		Policy:           pol,
+		Opts:             opts,
+		Recorder:         c.Recorder,
+		Seed:             c.Seed,
+	}, nil
+}
+
+func resolvePair(p Pair) (gen model.Config, gs workload.GeneratorSkill, ver model.Config, vs workload.VerifierSkill, err error) {
+	switch p {
+	case Pair1_5B1_5B:
+		return model.Qwen25Math1_5B, workload.SkillQwen1_5B,
+			model.SkyworkPRM1_5B, workload.SkillSkywork1_5B, nil
+	case Pair1_5B7B:
+		return model.Qwen25Math1_5B, workload.SkillQwen1_5B,
+			model.ShepherdPRM7B, workload.SkillShepherd7B, nil
+	case Pair7B1_5B:
+		return model.Qwen25Math7B, workload.SkillQwen7B,
+			model.SkyworkPRM1_5B, workload.SkillSkywork1_5B, nil
+	}
+	return model.Config{}, workload.GeneratorSkill{}, model.Config{}, workload.VerifierSkill{},
+		fmt.Errorf("fasttts: unknown model pair %q", p)
+}
+
+// Solve runs the configured search for one problem.
+func (s *System) Solve(p *Problem) (*Result, error) {
+	res, err := s.runner.Solve(p.inner)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}

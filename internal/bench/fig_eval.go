@@ -1,0 +1,329 @@
+package bench
+
+import (
+	"fmt"
+
+	"fasttts/internal/alloc"
+	"fasttts/internal/core"
+	"fasttts/internal/hw"
+	"fasttts/internal/metrics"
+	"fasttts/internal/model"
+	"fasttts/internal/search"
+	"fasttts/internal/workload"
+)
+
+// Fig10RooflineAlloc reproduces Fig 10: the optimal prefill/decode batch
+// sizes and normalized throughput the roofline-guided allocator picks as
+// the available KV memory grows.
+func Fig10RooflineAlloc(o RunOpts) (*Report, error) {
+	r := &Report{
+		ID:     "10",
+		Title:  "Roofline-guided KV allocation (1.5B+1.5B, N=512, S=1024)",
+		Header: []string{"kv_gib", "opt_prefill_batch", "opt_decode_batch", "norm_throughput"},
+	}
+	in := alloc.Input{
+		GPU:         hw.RTX4090,
+		Generator:   model.Qwen25Math1_5B,
+		Verifier:    model.SkyworkPRM1_5B,
+		N:           512,
+		SeqVerifier: 1024,
+		SeqDecode:   1024,
+	}
+	type point struct {
+		gib        float64
+		bPre, bDec int
+		tput       float64
+	}
+	var pts []point
+	best := 0.0
+	for _, mib := range []int64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384} {
+		in.BudgetBytes = mib << 20
+		plan, err := alloc.Optimize(in)
+		if err != nil {
+			continue
+		}
+		tput := float64(in.N) * float64(in.SeqDecode) / plan.TotalTime
+		if tput > best {
+			best = tput
+		}
+		pts = append(pts, point{float64(mib) / 1024, plan.BPre, plan.BDec, tput})
+	}
+	for _, p := range pts {
+		r.Rows = append(r.Rows, []string{
+			f3(p.gib), itoa(p.bPre), itoa(p.bDec), f3(p.tput / best),
+		})
+	}
+	r.Notes = append(r.Notes,
+		"paper: the decode batch grows with memory while the prefill batch stays small; throughput saturates once decode batching is ample")
+	return r, nil
+}
+
+// Fig11SearchVariants reproduces Fig 11: goodput of baseline vs FastTTS
+// across the four verifier-guided search variants on AIME (1.5B+1.5B).
+func Fig11SearchVariants(o RunOpts) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:     "11",
+		Title:  "Goodput across search variants, AIME, 1.5B+1.5B",
+		Header: []string{"method", "n", "baseline_tok_s", "fasttts_tok_s", "speedup"},
+	}
+	pc := pair1515()
+	for _, alg := range []search.Algorithm{
+		search.BeamSearch, search.DVTS, search.DynamicBranching, search.VaryingGranularity,
+	} {
+		for _, n := range nSweep(o.MaxN, 8, 16, 32, 64, 128, 256, 512) {
+			pol, err := search.New(alg, n, 4)
+			if err != nil {
+				return nil, err
+			}
+			base, err := solveSet(deployment(hw.RTX4090, pc, pol, core.BaselineOptions(), o.Seed, nil), workload.AIME24, o)
+			if err != nil {
+				return nil, err
+			}
+			fast, err := solveSet(deployment(hw.RTX4090, pc, pol, core.FastTTSOptions(), o.Seed, nil), workload.AIME24, o)
+			if err != nil {
+				return nil, err
+			}
+			bg, fg := meanGoodput(base), meanGoodput(fast)
+			r.Rows = append(r.Rows, []string{pol.Name(), itoa(n), f2(bg), f2(fg), f2(fg / bg)})
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper: FastTTS improves goodput 1.2x-3.9x across all four variants, growing with n")
+	return r, nil
+}
+
+// Fig12Goodput reproduces Fig 12: goodput of baseline vs FastTTS for all
+// three model configurations on AIME and AMC.
+func Fig12Goodput(o RunOpts) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:     "12",
+		Title:  "Precise Goodput, 3 configs x {AIME, AMC}",
+		Header: []string{"dataset", "config", "n", "baseline_tok_s", "fasttts_tok_s", "speedup"},
+	}
+	var speedups []float64
+	for _, spec := range []workload.DatasetSpec{workload.AIME24, workload.AMC23} {
+		for _, pc := range allPairs() {
+			for _, n := range nSweep(o.MaxN, 8, 32, 128, 512) {
+				pol, err := search.New(search.BeamSearch, n, 4)
+				if err != nil {
+					return nil, err
+				}
+				base, err := solveSet(deployment(hw.RTX4090, pc, pol, core.BaselineOptions(), o.Seed, nil), spec, o)
+				if err != nil {
+					return nil, err
+				}
+				fast, err := solveSet(deployment(hw.RTX4090, pc, pol, core.FastTTSOptions(), o.Seed, nil), spec, o)
+				if err != nil {
+					return nil, err
+				}
+				bg, fg := meanGoodput(base), meanGoodput(fast)
+				speedups = append(speedups, fg/bg)
+				r.Rows = append(r.Rows, []string{spec.Name, pc.name, itoa(n), f2(bg), f2(fg), f2(fg / bg)})
+			}
+		}
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("measured: mean speedup %.2fx (geo %.2fx) across the grid", metrics.Mean(speedups), metrics.GeoMean(speedups)),
+		"paper: average 2.2x, range 1.2x-5.4x, peaking at 7B+1.5B n=512 on AIME")
+	return r, nil
+}
+
+// Fig13Latency reproduces Fig 13: end-to-end completion latency with the
+// generator/verifier breakdown.
+func Fig13Latency(o RunOpts) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:    "13",
+		Title: "Completion latency with generator/verifier breakdown",
+		Header: []string{"dataset", "config", "n", "base_total_s", "base_gen_s", "base_ver_s",
+			"fast_total_s", "fast_gen_s", "fast_ver_s", "latency_cut_pct"},
+	}
+	var cuts, verCuts, genCuts []float64
+	for _, spec := range []workload.DatasetSpec{workload.AIME24, workload.AMC23} {
+		for _, pc := range allPairs() {
+			for _, n := range nSweep(o.MaxN, 8, 16, 32, 64, 128, 256, 512) {
+				pol, err := search.New(search.BeamSearch, n, 4)
+				if err != nil {
+					return nil, err
+				}
+				base, err := solveSet(deployment(hw.RTX4090, pc, pol, core.BaselineOptions(), o.Seed, nil), spec, o)
+				if err != nil {
+					return nil, err
+				}
+				fast, err := solveSet(deployment(hw.RTX4090, pc, pol, core.FastTTSOptions(), o.Seed, nil), spec, o)
+				if err != nil {
+					return nil, err
+				}
+				bt, bgen, bver := meanLatency(base)
+				ft, fgen, fver := meanLatency(fast)
+				cut := 100 * (1 - ft/bt)
+				cuts = append(cuts, cut)
+				if bver > 0 {
+					verCuts = append(verCuts, 100*(1-fver/bver))
+				}
+				if bgen > 0 {
+					genCuts = append(genCuts, 100*(1-fgen/bgen))
+				}
+				r.Rows = append(r.Rows, []string{
+					spec.Name, pc.name, itoa(n),
+					f1(bt), f1(bgen), f1(bver),
+					f1(ft), f1(fgen), f1(fver), f1(cut),
+				})
+			}
+		}
+	}
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("measured: latency cut %.0f%% on average (verifier %.0f%%, generator %.0f%%)",
+			metrics.Mean(cuts), metrics.Mean(verCuts), metrics.Mean(genCuts)),
+		"paper: 38-68%% end-to-end latency reduction; verifier latency cut 75-85%%, generator 36-66%%")
+	return r, nil
+}
+
+// Fig14aTop1 reproduces Fig 14a: Top-1 accuracy (majority voting) at
+// n=512 for baseline vs FastTTS on AIME and AMC.
+func Fig14aTop1(o RunOpts) (*Report, error) {
+	o = o.withDefaults()
+	if o.Problems < 12 {
+		o.Problems = 12
+	}
+	n := min(512, o.MaxN)
+	r := &Report{
+		ID:     "14a",
+		Title:  fmt.Sprintf("Top-1 accuracy via majority voting (n=%d)", n),
+		Header: []string{"dataset", "config", "baseline_acc_pct", "fasttts_acc_pct"},
+	}
+	for _, spec := range []workload.DatasetSpec{workload.AIME24, workload.AMC23} {
+		for _, pc := range allPairs() {
+			pol, err := search.New(search.BeamSearch, n, 4)
+			if err != nil {
+				return nil, err
+			}
+			accOf := func(opts core.Options) (float64, error) {
+				rs, err := solveSet(deployment(hw.RTX4090, pc, pol, opts, o.Seed, nil), spec, o)
+				if err != nil {
+					return 0, err
+				}
+				var oks []bool
+				for _, res := range rs {
+					oks = append(oks, metrics.Top1Correct(res.PathResults()))
+				}
+				return metrics.Accuracy(oks), nil
+			}
+			ba, err := accOf(core.BaselineOptions())
+			if err != nil {
+				return nil, err
+			}
+			fa, err := accOf(core.FastTTSOptions())
+			if err != nil {
+				return nil, err
+			}
+			r.Rows = append(r.Rows, []string{spec.Name, pc.name, f1(ba), f1(fa)})
+		}
+	}
+	r.Notes = append(r.Notes,
+		"FastTTS guarantees algorithmic equivalence, so accuracies are identical (the paper reports 'highly competitive' with small scheduling-order jitter)",
+		"paper: AIME ~5-25%, AMC ~60-80% across configs")
+	return r, nil
+}
+
+// Fig14bPassN reproduces Fig 14b: Pass@N accuracy with verifier-score
+// ranking, baseline vs FastTTS.
+func Fig14bPassN(o RunOpts) (*Report, error) {
+	o = o.withDefaults()
+	if o.Problems < 12 {
+		o.Problems = 12
+	}
+	width := min(512, o.MaxN)
+	pol, err := search.New(search.BeamSearch, width, 4)
+	if err != nil {
+		return nil, err
+	}
+	pc := pair1515()
+	r := &Report{
+		ID:     "14b",
+		Title:  fmt.Sprintf("Pass@N accuracy (beam width %d, 1.5B+1.5B)", width),
+		Header: []string{"dataset", "N", "baseline_pct", "fasttts_pct"},
+	}
+	for _, spec := range []workload.DatasetSpec{workload.AIME24, workload.AMC23} {
+		base, err := solveSet(deployment(hw.RTX4090, pc, pol, core.BaselineOptions(), o.Seed, nil), spec, o)
+		if err != nil {
+			return nil, err
+		}
+		fast, err := solveSet(deployment(hw.RTX4090, pc, pol, core.FastTTSOptions(), o.Seed, nil), spec, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, N := range nSweep(width, 8, 32, 128, 512) {
+			passOf := func(rs []*core.Result) float64 {
+				var oks []bool
+				for _, res := range rs {
+					oks = append(oks, metrics.PassAtN(res.PathResults(), N))
+				}
+				return metrics.Accuracy(oks)
+			}
+			r.Rows = append(r.Rows, []string{spec.Name, itoa(N), f1(passOf(base)), f1(passOf(fast))})
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper: Pass@N rises with N (AIME ~20->50%, AMC ~60->95%); FastTTS matches at large N")
+	return r, nil
+}
+
+// Fig15ConstrainedHW reproduces Fig 15: goodput on the 8 GB RTX 3070 Ti
+// (with offloading) and 12 GB RTX 4070 Ti on AIME, plus HumanEval code
+// generation on the 4090.
+func Fig15ConstrainedHW(o RunOpts) (*Report, error) {
+	o = o.withDefaults()
+	r := &Report{
+		ID:     "15",
+		Title:  "Constrained hardware and coding workloads",
+		Header: []string{"panel", "n", "baseline_tok_s", "fasttts_tok_s", "speedup"},
+	}
+	panels := []struct {
+		name    string
+		gpu     hw.GPU
+		spec    workload.DatasetSpec
+		offload bool
+		memFrac float64
+	}{
+		{"AIME(3070Ti)", hw.RTX3070Ti, workload.AIME24, true, 0.95},
+		{"AIME(4070Ti)", hw.RTX4070Ti, workload.AIME24, false, 0.9},
+		{"HumanEval(4090)", hw.RTX4090, workload.HumanEval, false, 0.4},
+	}
+	for _, panel := range panels {
+		pc := pair1515()
+		pc.memFrac = panel.memFrac
+		for _, n := range nSweep(min(256, o.MaxN), 8, 16, 32, 64, 128, 256) {
+			pol, err := search.New(search.BeamSearch, n, 4)
+			if err != nil {
+				return nil, err
+			}
+			baseOpts := core.BaselineOptions()
+			fastOpts := core.FastTTSOptions()
+			baseOpts.AllowOffload = panel.offload
+			fastOpts.AllowOffload = panel.offload
+			mkCfg := func(opts core.Options) core.Config {
+				cfg := deployment(panel.gpu, pc, pol, opts, o.Seed, nil)
+				if panel.offload {
+					cfg.ReservedBytes = 256 << 20
+				}
+				return cfg
+			}
+			base, err := solveSet(mkCfg(baseOpts), panel.spec, o)
+			if err != nil {
+				return nil, err
+			}
+			fast, err := solveSet(mkCfg(fastOpts), panel.spec, o)
+			if err != nil {
+				return nil, err
+			}
+			bg, fg := meanGoodput(base), meanGoodput(fast)
+			r.Rows = append(r.Rows, []string{panel.name, itoa(n), f2(bg), f2(fg), f2(fg / bg)})
+		}
+	}
+	r.Notes = append(r.Notes,
+		"paper: 1.4-1.6x on 3070Ti/4070Ti (3070Ti absolute goodput lower due to offloading); 1.3-1.8x on HumanEval")
+	return r, nil
+}

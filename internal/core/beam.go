@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fasttts/internal/kvcache"
+	"fasttts/internal/rng"
+	"fasttts/internal/sched"
+	"fasttts/internal/workload"
+)
+
+// Token materialization: every reasoning-tree node (prompt, thinking step,
+// speculative branch) gets a unique node ID, and token j of node k has the
+// value k<<tokenShift | j. Children copy their parent's token values, so
+// equal genealogy prefixes are bit-equal token sequences and the radix
+// caches share them physically.
+const tokenShift = 12 // up to 4096 tokens per node, 2^20 nodes per solve
+
+func nodeTokens(node, count int) []kvcache.Token {
+	out := make([]kvcache.Token, count)
+	base := kvcache.Token(node) << tokenShift
+	for j := range out {
+		out[j] = base | kvcache.Token(j)
+	}
+	return out
+}
+
+// specBranch is one speculative continuation generated for a finished
+// beam during the current iteration (§4.1.1).
+type specBranch struct {
+	node   int
+	count  int // tokens decoded so far
+	cap    int // token budget: the pre-sampled next step's length
+	ctxLen int // context length when the branch started (for ctx sums)
+}
+
+// beam is one active reasoning path.
+type beam struct {
+	id      int
+	subtree int
+	state   workload.PathState
+
+	// tokens is the committed sequence: prompt + all thinking steps,
+	// including the step being generated this iteration (token values
+	// are known upfront; decode rounds only account for the time).
+	tokens  []kvcache.Token
+	lineage []sched.NodeRef
+
+	// pending are speculative tokens retained from previous iterations
+	// that have not been committed into a step yet (the beam's "head
+	// start"); pendingLin tracks their node structure.
+	pending    []kvcache.Token
+	pendingLin []sched.NodeRef
+
+	// Per-iteration working state.
+	stepTokens   int  // sampled step length
+	stepTerminal bool // step concludes the path
+	rem          int  // decode rounds still needed this iteration
+	specs        []specBranch
+	specEligible int // M_i: remaining speculative branches allowed
+
+	// nextSteps is the queue of pre-sampled upcoming thinking steps
+	// (drawn as speculation advances, §4.1.3); commitStep consumes them
+	// in order. Pre-sampling preserves algorithmic equivalence because
+	// each stream serves a single purpose, so per-stream draw order is
+	// identical with and without speculation.
+	nextSteps []workload.Step
+
+	score    float64 // latest verifier score
+	hasScore bool
+	// verifiedLen is the PRM high-water mark: committed+speculative
+	// tokens already run through the verifier (LookAhead Verification
+	// lets fully covered beams skip engine work next iteration, §4.1.3).
+	verifiedLen int
+	// coVerified is how many uncommitted tokens the last LookAhead pass
+	// covered (diagnostics).
+	coVerified int
+	seq        *kvcache.Seq // generator-cache handle while resident
+	r          *rng.Stream  // step-sampling stream
+	obsR       *rng.Stream  // verifier-score and answer stream
+	specR      *rng.Stream  // speculation-only stream (truncation draws)
+	answer     int
+}
+
+// schedPath adapts the beam for the prefix-aware scheduler.
+func (b *beam) schedPath() sched.Path {
+	return sched.Path{ID: b.id, Lineage: b.lineage}
+}
+
+// takePending consumes up to n pending tokens into the committed
+// sequence, returning how many were consumed.
+func (b *beam) takePending(n int) int {
+	if n > len(b.pending) {
+		n = len(b.pending)
+	}
+	if n == 0 {
+		return 0
+	}
+	b.tokens = append(b.tokens, b.pending[:n]...)
+	b.pending = b.pending[n:]
+	// Move lineage refs across, splitting the last node if needed.
+	remaining := n
+	for remaining > 0 {
+		ref := b.pendingLin[0]
+		if ref.Tokens <= remaining {
+			b.lineage = append(b.lineage, ref)
+			remaining -= ref.Tokens
+			b.pendingLin = b.pendingLin[1:]
+		} else {
+			b.lineage = append(b.lineage, sched.NodeRef{Node: ref.Node, Tokens: remaining})
+			b.pendingLin[0] = sched.NodeRef{Node: ref.Node, Tokens: ref.Tokens - remaining}
+			remaining = 0
+		}
+	}
+	return n
+}
+
+// child clones the beam into a new successor sharing the committed
+// sequence (branching). The caller sets pending/streams afterwards.
+func (b *beam) child(id int, r, obsR, specR *rng.Stream) *beam {
+	return &beam{
+		id:       id,
+		subtree:  b.subtree,
+		state:    b.state,
+		tokens:   append([]kvcache.Token(nil), b.tokens...),
+		lineage:  append([]sched.NodeRef(nil), b.lineage...),
+		score:    b.score,
+		hasScore: b.hasScore,
+		r:        r,
+		obsR:     obsR,
+		specR:    specR,
+	}
+}
+
+// specChain returns all currently known speculative tokens for the
+// beam: leftover pending plus the primary (first) spec branch, in decode
+// order. Used by LookAhead Verification and by branching.
+func (b *beam) specChain(materialize func(specBranch) []kvcache.Token) ([]kvcache.Token, []sched.NodeRef) {
+	tokens := append([]kvcache.Token(nil), b.pending...)
+	lin := append([]sched.NodeRef(nil), b.pendingLin...)
+	if len(b.specs) > 0 && b.specs[0].count > 0 {
+		tokens = append(tokens, materialize(b.specs[0])...)
+		lin = append(lin, sched.NodeRef{Node: b.specs[0].node, Tokens: b.specs[0].count})
+	}
+	return tokens, lin
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"fasttts/internal/workload"
+)
+
+// Request is one queued TTS query for the serving loop.
+type Request struct {
+	Problem *workload.Problem
+	// Arrival is the request's arrival time on the server clock.
+	Arrival float64
+}
+
+// ServedResult augments a solve result with queueing telemetry.
+type ServedResult struct {
+	*Result
+	// Arrival, Start, and Finish are on the server clock.
+	Arrival, Start, Finish float64
+	// QueueDelay = Start − Arrival.
+	QueueDelay float64
+}
+
+// Server runs the two-phase preemptible scheduling policy of §4.1.2 over
+// a stream of requests:
+//
+//   - Phase 1 (Continuous Beam Batching): the active request's reasoning
+//     paths are batched continuously.
+//   - Phase 2 (Speculative Execution): only while the waiting queue is
+//     empty; the moment a new request arrives, all speculative work is
+//     preempted so the system stays responsive.
+type Server struct {
+	runner *Runner
+}
+
+// NewServer returns a server executing requests under the given
+// deployment configuration.
+func NewServer(cfg Config) (*Server, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{runner: r}, nil
+}
+
+// Run serves the requests FCFS and returns per-request results in
+// completion order. Speculation within a request is preempted whenever
+// another request is already waiting.
+func (s *Server) Run(reqs []Request) ([]ServedResult, error) {
+	queue := append([]Request(nil), reqs...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
+	var out []ServedResult
+	now := 0.0
+	for i, rq := range queue {
+		start := now
+		if rq.Arrival > start {
+			start = rq.Arrival
+		}
+		// Speculation is allowed only while no later request has already
+		// arrived (Phase 2 precondition: empty waiting queue).
+		nextArrival := -1.0
+		if i+1 < len(queue) {
+			nextArrival = queue[i+1].Arrival
+		}
+		preempt := func(local float64) bool {
+			return nextArrival >= 0 && start+local >= nextArrival
+		}
+		res, err := s.runner.SolveWithPreemption(rq.Problem, preempt)
+		if err != nil {
+			return nil, fmt.Errorf("core: serving %s/%d: %w", rq.Problem.Dataset, rq.Problem.Index, err)
+		}
+		finish := start + res.Latency
+		out = append(out, ServedResult{
+			Result:  res,
+			Arrival: rq.Arrival, Start: start, Finish: finish,
+			QueueDelay: start - rq.Arrival,
+		})
+		now = finish
+	}
+	return out, nil
+}

@@ -1,0 +1,503 @@
+// Package kvcache implements a paged KV cache with a radix-tree prefix
+// index, reference counting, and LRU eviction — the memory substrate the
+// paper's serving engines run on (paper §2.3, §3.2.2, Fig 8).
+//
+// Sequences that share a token prefix (beams spawned from the same parent)
+// share the corresponding tree nodes physically, so the capacity cost of a
+// reasoning tree is the number of *unique* tokens, not the sum of path
+// lengths. Eviction removes least-recently-used unreferenced subtrees;
+// a sequence whose cached prefix was evicted must be recomputed (re-
+// prefilled), which is exactly the cost Dynamic Prefix-Aware Scheduling
+// minimizes.
+package kvcache
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Token is a synthetic token identifier. The simulator derives token
+// values deterministically from beam genealogy, so equal prefixes imply
+// equal token sequences.
+type Token uint32
+
+// Stats accumulates cache activity counters.
+type Stats struct {
+	HitTokens     int64 // tokens found cached on acquire/extend
+	MissTokens    int64 // tokens newly inserted
+	EvictedTokens int64 // tokens evicted under pressure
+	Evictions     int64 // eviction operations (nodes removed)
+}
+
+type node struct {
+	parent   *node
+	children map[Token]*node
+	tokens   []Token
+	refs     int // live sequences whose pinned path passes through here
+	owners   map[*Seq]struct{}
+	lastUsed uint64 // LRU clock value
+	heapIdx  int    // index in the eviction heap, -1 if absent
+}
+
+func (n *node) evictable() bool {
+	return n.refs == 0 && len(n.children) == 0 && n.parent != nil
+}
+
+// Seq is a handle to an acquired sequence. While held, the sequence's
+// entire path is pinned in cache. Release the handle to make it evictable.
+type Seq struct {
+	leaf     *node
+	length   int // tokens along the path
+	released bool
+}
+
+// Len returns the number of tokens the sequence currently spans.
+func (s *Seq) Len() int { return s.length }
+
+// Cache is a prefix-sharing KV cache with a fixed byte capacity.
+//
+// Storage is allocated in blocks of blockTokens tokens (1 = exact
+// token-granular allocation): every tree node occupies
+// ceil(len/blockTokens)·blockTokens token slots, modeling the paged
+// allocator's internal fragmentation. Larger blocks reduce allocator
+// metadata in a real system but waste capacity at node boundaries —
+// the trade-off the block-size ablation measures.
+type Cache struct {
+	bytesPerToken int64
+	capacity      int64
+	blockTokens   int
+	root          *node
+	usedTokens    int64 // allocated token slots (block-rounded)
+	clock         uint64
+	evictHeap     evictHeap
+	stats         Stats
+}
+
+// ErrTooLarge is returned when a single sequence cannot fit in the cache
+// even after evicting everything else.
+var ErrTooLarge = errors.New("kvcache: sequence exceeds cache capacity")
+
+// ErrPinned is returned when an operation needs memory but every resident
+// entry is pinned by live sequences.
+var ErrPinned = errors.New("kvcache: insufficient memory, all entries pinned")
+
+// New returns a cache that stores KV entries of bytesPerToken bytes each
+// within capacityBytes of device memory, with exact (token-granular)
+// allocation.
+func New(capacityBytes, bytesPerToken int64) *Cache {
+	return NewBlocked(capacityBytes, bytesPerToken, 1)
+}
+
+// NewBlocked returns a cache whose storage is allocated in blocks of
+// blockTokens tokens (vLLM-style paging).
+func NewBlocked(capacityBytes, bytesPerToken int64, blockTokens int) *Cache {
+	if bytesPerToken <= 0 {
+		panic("kvcache: bytesPerToken must be positive")
+	}
+	if blockTokens < 1 {
+		panic("kvcache: blockTokens must be >= 1")
+	}
+	return &Cache{
+		bytesPerToken: bytesPerToken,
+		capacity:      capacityBytes,
+		blockTokens:   blockTokens,
+		root:          &node{children: map[Token]*node{}, heapIdx: -1},
+	}
+}
+
+// blockCost returns the allocated token slots for n logical tokens.
+func (c *Cache) blockCost(n int) int64 {
+	b := int64(c.blockTokens)
+	return (int64(n) + b - 1) / b * b
+}
+
+// CapacityTokens returns the maximum number of tokens the cache can hold.
+func (c *Cache) CapacityTokens() int64 { return c.capacity / c.bytesPerToken }
+
+// UsedBytes returns the bytes currently occupied.
+func (c *Cache) UsedBytes() int64 { return c.usedTokens * c.bytesPerToken }
+
+// UsedTokens returns the tokens currently resident.
+func (c *Cache) UsedTokens() int64 { return c.usedTokens }
+
+// FreeTokens returns capacity not currently occupied (ignoring what could
+// be evicted). Opportunistic writers (speculative KV) use this to avoid
+// evicting useful entries.
+func (c *Cache) FreeTokens() int64 { return c.CapacityTokens() - c.usedTokens }
+
+// PinnedTokens returns the tokens pinned by live sequences.
+func (c *Cache) PinnedTokens() int64 {
+	var pinned int64
+	var walk func(*node)
+	walk = func(n *node) {
+		if n.refs > 0 && n.parent != nil {
+			pinned += int64(len(n.tokens))
+		}
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	walk(c.root)
+	return pinned
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// NodeCount returns the number of radix-tree nodes (excluding the root).
+// This is the "Nodes(T)" quantity in the paper's eviction cost model §4.2.
+func (c *Cache) NodeCount() int {
+	count := -1 // exclude root
+	var walk func(*node)
+	walk = func(n *node) {
+		count++
+		for _, ch := range n.children {
+			walk(ch)
+		}
+	}
+	walk(c.root)
+	return count
+}
+
+// Fits reports whether a sequence of n tokens could ever reside fully in
+// the cache.
+func (c *Cache) Fits(n int) bool { return int64(n) <= c.CapacityTokens() }
+
+// walk descends from start matching tokens, splitting a node if the match
+// ends mid-span, and returns the deepest fully matched node together with
+// the number of matched tokens. It never allocates capacity.
+func (c *Cache) walk(start *node, tokens []Token) (*node, int) {
+	n := start
+	matched := 0
+	for matched < len(tokens) {
+		child, ok := n.children[tokens[matched]]
+		if !ok {
+			break
+		}
+		span := child.tokens
+		k := 0
+		for k < len(span) && matched+k < len(tokens) && span[k] == tokens[matched+k] {
+			k++
+		}
+		if k < len(span) {
+			// Query exhausted mid-span or diverged: split so the matched
+			// part becomes its own node boundary.
+			c.split(child, k)
+		}
+		n = child
+		matched += k
+		if k < len(span) {
+			break
+		}
+	}
+	return n, matched
+}
+
+// Acquire pins the given token sequence in the cache, inserting any suffix
+// not already present and evicting unreferenced entries if needed. It
+// returns the handle plus the number of tokens that were already cached
+// (hit) and newly inserted (miss — these must be recomputed/prefilled by
+// the engine). Acquire fails with ErrTooLarge if the sequence alone
+// exceeds capacity, or ErrPinned if live sequences occupy all memory.
+func (c *Cache) Acquire(tokens []Token) (seq *Seq, hit, miss int, err error) {
+	if !c.Fits(len(tokens)) {
+		return nil, 0, 0, ErrTooLarge
+	}
+	c.clock++
+	n, matched := c.walk(c.root, tokens)
+	hit = matched
+	miss = len(tokens) - matched
+	// Pin the matched path before evicting so eviction cannot free it.
+	c.pinSegment(n, nil)
+	if miss > 0 {
+		if err := c.ensure(c.blockCost(miss)); err != nil {
+			c.unpinSegment(n, nil)
+			return nil, 0, 0, err
+		}
+		n = c.attachChild(n, tokens[matched:])
+	}
+	s := &Seq{leaf: n, length: len(tokens)}
+	c.addOwner(n, s)
+	c.stats.HitTokens += int64(hit)
+	c.stats.MissTokens += int64(miss)
+	return s, hit, miss, nil
+}
+
+// Extend appends tokens to an acquired sequence. Tokens already cached
+// below the sequence's current leaf (another beam may have decoded the
+// same continuation) count as hits; the remainder is inserted.
+func (c *Cache) Extend(s *Seq, tokens []Token) (hit, miss int, err error) {
+	if s.released {
+		return 0, 0, errors.New("kvcache: extend on released sequence")
+	}
+	if len(tokens) == 0 {
+		return 0, 0, nil
+	}
+	if !c.Fits(s.length + len(tokens)) {
+		return 0, 0, ErrTooLarge
+	}
+	c.clock++
+	start := s.leaf
+	// Fast path: sole owner of a childless leaf extends in place.
+	if start.refs == 1 && len(start.children) == 0 && start.parent != nil {
+		delta := c.blockCost(len(start.tokens)+len(tokens)) - c.blockCost(len(start.tokens))
+		if err := c.ensure(delta); err != nil {
+			return 0, 0, err
+		}
+		start.tokens = append(start.tokens, tokens...)
+		start.lastUsed = c.clock
+		c.usedTokens += delta
+		c.stats.MissTokens += int64(len(tokens))
+		s.length += len(tokens)
+		return 0, len(tokens), nil
+	}
+	n, matched := c.walk(start, tokens)
+	hit = matched
+	miss = len(tokens) - matched
+	c.pinSegment(n, start)
+	if miss > 0 {
+		if err := c.ensure(c.blockCost(miss)); err != nil {
+			c.unpinSegment(n, start)
+			return 0, 0, err
+		}
+		n = c.attachChild(n, tokens[matched:])
+	}
+	c.removeOwner(start, s)
+	s.leaf = n
+	s.length += len(tokens)
+	c.addOwner(n, s)
+	c.stats.HitTokens += int64(hit)
+	c.stats.MissTokens += int64(miss)
+	return hit, miss, nil
+}
+
+// Fork returns a second pinned handle to the same sequence path. Beam
+// branching uses this: the duplicate shares every cached token with the
+// original at zero memory cost.
+func (c *Cache) Fork(s *Seq) (*Seq, error) {
+	if s.released {
+		return nil, errors.New("kvcache: fork of released sequence")
+	}
+	c.clock++
+	c.pinSegment(s.leaf, nil)
+	f := &Seq{leaf: s.leaf, length: s.length}
+	c.addOwner(s.leaf, f)
+	return f, nil
+}
+
+// Release unpins a sequence. Its nodes stay cached until evicted.
+func (c *Cache) Release(s *Seq) {
+	if s.released {
+		return
+	}
+	s.released = true
+	c.removeOwner(s.leaf, s)
+	c.unpinSegment(s.leaf, nil)
+}
+
+// LongestCachedPrefix returns how many leading tokens of the given
+// sequence are currently resident (pinned or not). It never mutates the
+// tree.
+func (c *Cache) LongestCachedPrefix(tokens []Token) int {
+	n := c.root
+	matched := 0
+	for matched < len(tokens) {
+		child, ok := n.children[tokens[matched]]
+		if !ok {
+			return matched
+		}
+		span := child.tokens
+		k := 0
+		for k < len(span) && matched+k < len(tokens) && span[k] == tokens[matched+k] {
+			k++
+		}
+		matched += k
+		if k < len(span) {
+			return matched
+		}
+		n = child
+	}
+	return matched
+}
+
+// EvictAll drops every unreferenced node (used when a model's cache is
+// offloaded to host memory, §4.3.2). It returns the number of tokens
+// dropped.
+func (c *Cache) EvictAll() int64 {
+	var dropped int64
+	for {
+		leaf := c.popEvictable()
+		if leaf == nil {
+			return dropped
+		}
+		dropped += int64(len(leaf.tokens))
+		c.evict(leaf)
+	}
+}
+
+// Resize changes the capacity. Shrinking evicts unreferenced entries as
+// needed and fails if pinned sequences exceed the new capacity.
+func (c *Cache) Resize(capacityBytes int64) error {
+	old := c.capacity
+	c.capacity = capacityBytes
+	if err := c.ensure(0); err != nil {
+		c.capacity = old
+		return err
+	}
+	return nil
+}
+
+// --- internals ---
+
+// attachChild creates a pinned (refs=1) child of n holding tokens.
+func (c *Cache) attachChild(n *node, tokens []Token) *node {
+	child := &node{
+		parent:   n,
+		children: map[Token]*node{},
+		tokens:   append([]Token(nil), tokens...),
+		refs:     1,
+		lastUsed: c.clock,
+		heapIdx:  -1,
+	}
+	n.children[tokens[0]] = child
+	c.unqueue(n) // n gained a child; no longer an evictable leaf
+	c.usedTokens += c.blockCost(len(tokens))
+	return child
+}
+
+// pinSegment increments refs from n up to (but excluding) stop. A nil
+// stop pins through the root.
+func (c *Cache) pinSegment(n, stop *node) {
+	for p := n; p != nil && p != stop; p = p.parent {
+		p.refs++
+		p.lastUsed = c.clock
+		c.unqueue(p)
+	}
+}
+
+// unpinSegment decrements refs from n up to (but excluding) stop.
+func (c *Cache) unpinSegment(n, stop *node) {
+	for p := n; p != nil && p != stop; p = p.parent {
+		p.refs--
+		if p.evictable() {
+			c.enqueue(p)
+		}
+	}
+}
+
+func (c *Cache) addOwner(n *node, s *Seq) {
+	if n.owners == nil {
+		n.owners = map[*Seq]struct{}{}
+	}
+	n.owners[s] = struct{}{}
+}
+
+func (c *Cache) removeOwner(n *node, s *Seq) {
+	delete(n.owners, s)
+}
+
+// split divides n's token span at k: n keeps tokens[:k] and a new child
+// inherits tokens[k:], n's children, refs, and — crucially — n's owner
+// handles. Every live sequence whose path covered n's full span must now
+// terminate at (or pass through) the suffix node. No live path can end
+// strictly inside a span: node boundaries are created at every historical
+// acquire point and nodes are never merged.
+func (c *Cache) split(n *node, k int) {
+	if k <= 0 || k >= len(n.tokens) {
+		return
+	}
+	suffix := &node{
+		parent:   n,
+		children: n.children,
+		tokens:   append([]Token(nil), n.tokens[k:]...),
+		refs:     n.refs,
+		owners:   n.owners,
+		lastUsed: n.lastUsed,
+		heapIdx:  -1,
+	}
+	for _, ch := range suffix.children {
+		ch.parent = suffix
+	}
+	for s := range suffix.owners {
+		s.leaf = suffix
+	}
+	whole := c.blockCost(len(n.tokens))
+	n.tokens = append([]Token(nil), n.tokens[:k]...)
+	n.children = map[Token]*node{suffix.tokens[0]: suffix}
+	n.owners = nil
+	// Block rounding: two nodes may occupy more slots than one did.
+	c.usedTokens += c.blockCost(k) + c.blockCost(len(suffix.tokens)) - whole
+	c.unqueue(n) // n now has a child; cannot be an evictable leaf
+	if suffix.evictable() {
+		c.enqueue(suffix)
+	}
+}
+
+// ensure evicts unreferenced LRU leaves until needTokens more tokens fit.
+func (c *Cache) ensure(needTokens int64) error {
+	capTok := c.CapacityTokens()
+	for c.usedTokens+needTokens > capTok {
+		leaf := c.popEvictable()
+		if leaf == nil {
+			return fmt.Errorf("%w: need %d tokens, used %d of %d",
+				ErrPinned, needTokens, c.usedTokens, capTok)
+		}
+		c.evict(leaf)
+	}
+	return nil
+}
+
+// evict removes a single evictable leaf from the tree.
+func (c *Cache) evict(n *node) {
+	parent := n.parent
+	delete(parent.children, n.tokens[0])
+	c.usedTokens -= c.blockCost(len(n.tokens))
+	c.stats.EvictedTokens += int64(len(n.tokens))
+	c.stats.Evictions++
+	n.parent = nil
+	if parent.evictable() {
+		c.enqueue(parent)
+	}
+}
+
+// --- eviction heap (min-heap by lastUsed, lazy removal) ---
+
+type evictHeap []*node
+
+func (h evictHeap) Len() int            { return len(h) }
+func (h evictHeap) Less(i, j int) bool  { return h[i].lastUsed < h[j].lastUsed }
+func (h evictHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *evictHeap) Push(x interface{}) { n := x.(*node); n.heapIdx = len(*h); *h = append(*h, n) }
+func (h *evictHeap) Pop() interface{} {
+	old := *h
+	n := old[len(old)-1]
+	old[len(old)-1] = nil
+	n.heapIdx = -1
+	*h = old[:len(old)-1]
+	return n
+}
+
+func (c *Cache) enqueue(n *node) {
+	if n.heapIdx >= 0 || !n.evictable() {
+		return
+	}
+	heap.Push(&c.evictHeap, n)
+}
+
+func (c *Cache) unqueue(n *node) {
+	if n.heapIdx < 0 {
+		return
+	}
+	heap.Remove(&c.evictHeap, n.heapIdx)
+}
+
+func (c *Cache) popEvictable() *node {
+	for c.evictHeap.Len() > 0 {
+		n := heap.Pop(&c.evictHeap).(*node)
+		if n.evictable() && n.parent != nil {
+			return n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+func TestClockAdvances(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %v", c.Now())
+	}
+	if got := c.Advance(1.5); got != 1.5 {
+		t.Errorf("Advance returned %v", got)
+	}
+	c.Advance(0.5)
+	if c.Now() != 2.0 {
+		t.Errorf("Now = %v, want 2.0", c.Now())
+	}
+}
+
+func TestClockZeroAdvance(t *testing.T) {
+	var c Clock
+	c.Advance(0)
+	if c.Now() != 0 {
+		t.Errorf("Now = %v", c.Now())
+	}
+}
+
+func TestClockPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative advance")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockReset(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("Now after reset = %v", c.Now())
+	}
+}

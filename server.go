@@ -1,0 +1,65 @@
+package fasttts
+
+import "fasttts/internal/core"
+
+// Request is one queued query for a Server.
+type Request struct {
+	Problem *Problem
+	// ArrivalTime is when the request reaches the server, in seconds on
+	// the server clock.
+	ArrivalTime float64
+}
+
+// ServedResult is a Result plus queueing telemetry.
+type ServedResult struct {
+	*Result
+	ArrivalTime float64
+	StartTime   float64
+	FinishTime  float64
+	QueueDelay  float64
+}
+
+// Server serves a stream of TTS requests with the paper's two-phase
+// preemptible scheduler (§4.1.2): speculative execution runs only while
+// the waiting queue is empty and is preempted the moment a request
+// arrives, preserving responsiveness.
+type Server struct {
+	inner *core.Server
+}
+
+// NewServer builds a server for the given deployment configuration.
+func NewServer(c Config) (*Server, error) {
+	cc, err := buildCoreConfig(c)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := core.NewServer(cc)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: srv}, nil
+}
+
+// Run serves the requests FCFS and returns per-request results.
+func (s *Server) Run(reqs []Request) ([]ServedResult, error) {
+	inner := make([]core.Request, len(reqs))
+	for i, r := range reqs {
+		inner[i] = core.Request{Problem: r.Problem.inner, Arrival: r.ArrivalTime}
+	}
+	served, err := s.inner.Run(inner)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ServedResult, len(served))
+	for i, sv := range served {
+		res := wrapResult(sv.Result)
+		out[i] = ServedResult{
+			Result:      res,
+			ArrivalTime: sv.Arrival,
+			StartTime:   sv.Start,
+			FinishTime:  sv.Finish,
+			QueueDelay:  sv.QueueDelay,
+		}
+	}
+	return out, nil
+}
