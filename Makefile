@@ -1,0 +1,23 @@
+# Mirrors the CI gates (.github/workflows/ci.yml) so contributors run
+# the same checks locally before pushing.
+
+GO ?= go
+
+.PHONY: all build test lint bench
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

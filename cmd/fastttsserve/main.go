@@ -1,0 +1,128 @@
+// Command fastttsserve load-tests the multi-tenant serving engine: it
+// generates an open-loop (Poisson) or closed-loop (fixed-concurrency)
+// request stream over a benchmark dataset, serves it under a chosen
+// admission/ordering policy, and prints per-request telemetry plus the
+// server-level aggregates (latency percentiles, queue delay, goodput,
+// SLO attainment).
+//
+// Usage:
+//
+//	fastttsserve -n 32 -rate 0.5 -policy sjf
+//	fastttsserve -n 16 -closed -concurrency 4 -think 1
+//	fastttsserve -n 24 -policy fcfs -compare sjf -slo 120
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fasttts"
+)
+
+func main() {
+	var (
+		gpu         = flag.String("gpu", "RTX 4090", "GPU: RTX 4090, RTX 4070 Ti, RTX 3070 Ti")
+		pair        = flag.String("pair", "1.5B+1.5B", "model pair: 1.5B+1.5B, 1.5B+7B, 7B+1.5B")
+		alg         = flag.String("alg", "Beam Search", "search algorithm")
+		beams       = flag.Int("beams", 16, "number of beams per request")
+		mode        = flag.String("mode", "fasttts", "fasttts or baseline")
+		dataset     = flag.String("dataset", "AMC23", "dataset: AIME24, AMC23, MATH500, HumanEval")
+		n           = flag.Int("n", 16, "number of requests")
+		seed        = flag.Uint64("seed", 42, "random seed (deployment and arrivals)")
+		policy      = flag.String("policy", "fcfs", "serve policy: fcfs, sjf, priority, deadline")
+		compare     = flag.String("compare", "", "comma-separated extra policies to run on the same trace")
+		rate        = flag.Float64("rate", 0.5, "open-loop Poisson arrival rate, requests/s")
+		closed      = flag.Bool("closed", false, "closed-loop (fixed-concurrency) instead of open-loop")
+		concurrency = flag.Int("concurrency", 4, "closed-loop client count")
+		think       = flag.Float64("think", 0, "closed-loop think time, seconds")
+		maxInFlight = flag.Int("max-inflight", 0, "admission limit (0 = unlimited)")
+		slo         = flag.Float64("slo", 0, "wall-latency SLO target in seconds (0 = none)")
+		verbose     = flag.Bool("v", false, "print per-request telemetry")
+	)
+	flag.Parse()
+
+	if !*closed && *rate <= 0 {
+		fatal(fmt.Errorf("open-loop -rate must be positive (got %v)", *rate))
+	}
+	if *closed && *concurrency < 1 {
+		fatal(fmt.Errorf("closed-loop -concurrency must be at least 1 (got %d)", *concurrency))
+	}
+	ds, err := fasttts.LoadDataset(*dataset, 7)
+	if err != nil {
+		fatal(err)
+	}
+	probs := make([]*fasttts.Problem, *n)
+	for i := range probs {
+		probs[i] = ds.Problems[i%len(ds.Problems)]
+	}
+
+	policies := []string{*policy}
+	if *compare != "" {
+		for _, p := range strings.Split(*compare, ",") {
+			policies = append(policies, strings.TrimSpace(p))
+		}
+	}
+
+	if *closed {
+		fmt.Printf("closed loop: %d requests, %d clients, think %.1fs, %s on %s\n\n",
+			*n, *concurrency, *think, *dataset, *gpu)
+	} else {
+		fmt.Printf("open loop: %d requests, Poisson rate %.2f req/s, %s on %s\n\n",
+			*n, *rate, *dataset, *gpu)
+	}
+	fmt.Printf("%-10s %7s %7s %9s %9s %9s %9s %9s %8s %6s\n",
+		"policy", "served", "reject", "mean_q(s)", "p50(s)", "p95(s)", "p99(s)", "goodput", "slo_att", "mksp")
+	for _, pol := range policies {
+		srv, err := fasttts.NewServerWith(fasttts.ServeConfig{
+			Config: fasttts.Config{
+				GPU:       *gpu,
+				Pair:      fasttts.Pair(*pair),
+				Algorithm: *alg,
+				NumBeams:  *beams,
+				Mode:      fasttts.Mode(*mode),
+				Seed:      *seed,
+			},
+			Policy:      pol,
+			MaxInFlight: *maxInFlight,
+			SLOLatency:  *slo,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		var served []fasttts.ServedResult
+		if *closed {
+			served, err = srv.RunClosedLoop(probs, *concurrency, *think)
+		} else {
+			served, err = srv.Run(fasttts.PoissonRequests(probs, *rate, *seed))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		st := srv.Stats(served)
+		fmt.Printf("%-10s %7d %7d %9.2f %9.2f %9.2f %9.2f %9.2f %7.0f%% %6.0f\n",
+			pol, st.Served, st.Rejected, st.MeanQueueDelay,
+			st.P50Latency, st.P95Latency, st.P99Latency,
+			st.Goodput, 100*st.SLOAttainment, st.Makespan)
+		if *verbose {
+			fmt.Printf("\n%5s %9s %9s %9s %9s %9s %7s\n",
+				"req", "arrival", "start", "finish", "queued", "service", "slices")
+			for i, sv := range served {
+				if sv.Rejected {
+					fmt.Printf("%5d %9.2f %30s\n", i, sv.ArrivalTime, "rejected (admission)")
+					continue
+				}
+				fmt.Printf("%5d %9.2f %9.2f %9.2f %9.2f %9.2f %7d\n",
+					i, sv.ArrivalTime, sv.StartTime, sv.FinishTime,
+					sv.QueueDelay, sv.Latency, sv.Slices)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fastttsserve:", err)
+	os.Exit(1)
+}

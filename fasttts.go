@@ -30,6 +30,36 @@
 //	ds, _ := fasttts.LoadDataset("AIME24", 7)
 //	res, err := sys.Solve(ds.Problems[0])
 //	fmt.Printf("goodput %.1f tok/s, latency %.1fs\n", res.Goodput, res.Latency)
+//
+// # Multi-tenant serving
+//
+// Server serves concurrent request streams with an event-driven
+// virtual-clock engine that time-slices the device between admitted
+// requests and preserves the paper's two-phase preemption semantics
+// (§4.1.2): speculation runs only while no other request waits. The
+// admission/ordering discipline is a pluggable ServePolicy selected by
+// name in ServeConfig — "fcfs" (the sequential seed semantics), "sjf"
+// (shortest estimated remaining work, First-Finish style), "priority",
+// or "deadline" (earliest-deadline-first) — optionally wrapped with a
+// MaxInFlight load-shedding admission limit. Open-loop traffic comes
+// from the PoissonRequests / UniformRequests arrival generators;
+// closed-loop (fixed-concurrency) traffic from Server.RunClosedLoop.
+// Server.Stats aggregates a served stream into p50/p95/p99 wall latency,
+// queue delay, server goodput, and SLO attainment. Equal seeds give
+// bit-identical served streams under every policy.
+//
+//	srv, _ := fasttts.NewServerWith(fasttts.ServeConfig{
+//		Config: fasttts.Config{NumBeams: 16, Seed: 42},
+//		Policy: "sjf", SLOLatency: 60,
+//	})
+//	served, _ := srv.Run(fasttts.PoissonRequests(probs, 0.5, 11))
+//	fmt.Printf("%+v\n", srv.Stats(served))
+//
+// # Development
+//
+// CI (.github/workflows/ci.yml) gates every change on go build, go vet,
+// gofmt, go test -race, and a one-iteration benchmark smoke run; `make
+// build / lint / test / bench` mirror the same gates locally.
 package fasttts
 
 import (

@@ -1,0 +1,3 @@
+module fasttts
+
+go 1.24

@@ -88,7 +88,7 @@ func ExtServingLoad(o RunOpts) (*Report, error) {
 	}
 	pc := pair1515()
 	ds := workload.NewDataset(workload.AMC23, rngFor(o.Seed))
-	probs := ds.Subset(maxIntBench(o.Problems, 6))
+	probs := ds.Subset(max(o.Problems, 6))
 	r := &Report{
 		ID:     "s1",
 		Title:  "Two-phase serving under load (AMC, n=64)",
@@ -131,13 +131,6 @@ func ExtServingLoad(o RunOpts) (*Report, error) {
 	r.Notes = append(r.Notes,
 		"under tight arrivals FastTTS suspends speculation (two-phase preemption) yet still wins on latency via P+M; idle gaps re-enable speculation")
 	return r, nil
-}
-
-func maxIntBench(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ExtMCTSComparison checks the paper's §2.2 claim that multi-step

@@ -2,82 +2,321 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"fasttts/internal/metrics"
+	"fasttts/internal/sched"
 	"fasttts/internal/workload"
 )
 
-// Request is one queued TTS query for the serving loop.
+// Request is one queued TTS query for the serving engine.
 type Request struct {
 	Problem *workload.Problem
 	// Arrival is the request's arrival time on the server clock.
 	Arrival float64
+	// Priority orders requests under the priority policy; larger first.
+	Priority int
+	// Deadline is the absolute SLO deadline on the server clock used by
+	// the deadline policy; 0 means none.
+	Deadline float64
 }
 
-// ServedResult augments a solve result with queueing telemetry.
+// ServedResult augments a solve result with queueing telemetry. Result is
+// nil (and only then) for requests shed by admission control.
 type ServedResult struct {
 	*Result
-	// Arrival, Start, and Finish are on the server clock.
+	// Arrival, Start, and Finish are on the server clock. The embedded
+	// Result's Latency is the request's device (service) time; under
+	// time-slicing Finish − Start additionally includes slices spent on
+	// other tenants.
 	Arrival, Start, Finish float64
 	// QueueDelay = Start − Arrival.
 	QueueDelay float64
+	// WallLatency = Finish − Arrival: what the client experiences.
+	WallLatency float64
+	// Slices counts the device slices the request ran in.
+	Slices int
+	// UsefulTokens is the request's useful generated output: all decoded
+	// tokens minus speculative ones, plus the speculative tokens that
+	// surviving beams adopted. Server-level goodput sums this.
+	UsefulTokens int64
+	// Rejected marks requests shed by admission control.
+	Rejected bool
 }
 
-// Server runs the two-phase preemptible scheduling policy of §4.1.2 over
-// a stream of requests:
-//
-//   - Phase 1 (Continuous Beam Batching): the active request's reasoning
-//     paths are batched continuously.
-//   - Phase 2 (Speculative Execution): only while the waiting queue is
-//     empty; the moment a new request arrives, all speculative work is
-//     preempted so the system stays responsive.
+// Server is the multi-tenant serving engine. It generalizes the paper's
+// §4.1.2 two-phase preemptible scheduler to many in-flight requests: an
+// event-driven virtual clock time-slices the device between admitted
+// requests at search-iteration granularity, a pluggable sched.ServePolicy
+// decides admission and which request owns each slice, and speculative
+// execution (Phase 2) runs only while no other request is waiting — the
+// moment one is, speculation is preempted, exactly as in the paper. With
+// the FCFS policy the engine degenerates to run-to-completion in arrival
+// order and reproduces the sequential scheduler bit-identically.
 type Server struct {
-	runner *Runner
+	cfg Config
+	pol sched.ServePolicy
 }
 
-// NewServer returns a server executing requests under the given
-// deployment configuration.
+// session tracks one admitted request through its slices.
+type session struct {
+	req     Request
+	id      int // position in the submitted stream
+	solver  *solver
+	started bool
+	start   float64
+	work    float64 // device seconds consumed
+	est     float64 // estimated total service demand, token units
+	slices  int
+	done    bool
+}
+
+// NewServer returns an FCFS server executing requests under the given
+// deployment configuration (the seed-equivalent special case).
 func NewServer(cfg Config) (*Server, error) {
-	r, err := NewRunner(cfg)
-	if err != nil {
+	return NewServerWithPolicy(cfg, sched.FCFS{})
+}
+
+// NewServerWithPolicy returns a server using the given admission/ordering
+// policy. A nil policy means FCFS.
+func NewServerWithPolicy(cfg Config, pol sched.ServePolicy) (*Server, error) {
+	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Server{runner: r}, nil
+	if pol == nil {
+		pol = sched.FCFS{}
+	}
+	return &Server{cfg: cfg, pol: pol}, nil
 }
 
-// Run serves the requests FCFS and returns per-request results in
-// completion order. Speculation within a request is preempted whenever
-// another request is already waiting.
+// Policy returns the server's admission/ordering policy.
+func (s *Server) Policy() sched.ServePolicy { return s.pol }
+
+// Run serves an open-loop request stream and returns per-request results
+// in completion order (rejected requests appear at their rejection time).
 func (s *Server) Run(reqs []Request) ([]ServedResult, error) {
 	queue := append([]Request(nil), reqs...)
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
-	var out []ServedResult
-	now := 0.0
-	for i, rq := range queue {
-		start := now
-		if rq.Arrival > start {
-			start = rq.Arrival
+	return s.serve(queue, nil)
+}
+
+// RunClosedLoop serves the problems under a fixed-concurrency closed
+// loop: cl.Concurrency clients each keep one request outstanding and
+// issue their next request cl.Think seconds after the previous finishes.
+func (s *Server) RunClosedLoop(probs []*workload.Problem, cl workload.ClosedLoop) ([]ServedResult, error) {
+	conc := cl.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	n := min(conc, len(probs))
+	queue := make([]Request, n)
+	for i := 0; i < n; i++ {
+		queue[i] = Request{Problem: probs[i]}
+	}
+	next := n
+	feeder := func(finish float64) (Request, bool) {
+		if next >= len(probs) {
+			return Request{}, false
 		}
-		// Speculation is allowed only while no later request has already
-		// arrived (Phase 2 precondition: empty waiting queue).
+		rq := Request{Problem: probs[next], Arrival: finish + cl.Think}
+		next++
+		return rq, true
+	}
+	return s.serve(queue, feeder)
+}
+
+// serve is the event loop. queue must be sorted by arrival; feeder, when
+// non-nil, is asked for one follow-up request after every completion or
+// rejection — the closed-loop client issues its next request either way,
+// so admission control cannot silently retire a client slot.
+func (s *Server) serve(queue []Request, feeder func(finish float64) (Request, bool)) ([]ServedResult, error) {
+	var (
+		out      []ServedResult
+		sessions []*session
+		now      float64
+		next     int // next queue index to admit
+		inFlight int
+		nextID   int
+	)
+	feed := func(at float64) {
+		if feeder == nil {
+			return
+		}
+		if rq, ok := feeder(at); ok {
+			queue = insertByArrival(queue, next, rq)
+		}
+	}
+	runnable := func() []*session {
+		live := make([]*session, 0, len(sessions))
+		for _, c := range sessions {
+			if !c.done {
+				live = append(live, c)
+			}
+		}
+		return live
+	}
+	for {
+		// Admit everything that has arrived by now.
+		for next < len(queue) && queue[next].Arrival <= now {
+			rq := queue[next]
+			next++
+			c := &session{req: rq, id: nextID, est: s.estimateWork(rq.Problem)}
+			nextID++
+			if !s.pol.Admit(s.viewOf(c), now, inFlight) {
+				out = append(out, ServedResult{
+					Arrival: rq.Arrival, Start: rq.Arrival, Finish: rq.Arrival,
+					Rejected: true,
+				})
+				feed(rq.Arrival)
+				continue
+			}
+			sessions = append(sessions, c)
+			inFlight++
+		}
+		live := runnable()
+		if len(live) == 0 {
+			if next < len(queue) {
+				// Device idle: jump the virtual clock to the next arrival.
+				now = queue[next].Arrival
+				continue
+			}
+			break
+		}
+
+		// Policy picks the slice owner among the runnable requests.
+		cands := make([]sched.ServeRequest, len(live))
+		for i, c := range live {
+			cands[i] = s.viewOf(c)
+		}
+		pick := s.pol.Pick(cands, now)
+		if pick < 0 || pick >= len(live) {
+			return nil, fmt.Errorf("core: policy %s picked index %d of %d runnable requests",
+				s.pol.Name(), pick, len(live))
+		}
+		c := live[pick]
+		if !c.started {
+			sv, err := newSolver(s.cfg, c.req.Problem, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
+			}
+			c.solver = sv
+			c.started = true
+			c.start = now
+		}
+
+		// Phase 2 precondition (§4.1.2): speculation only while the waiting
+		// queue is empty. In multi-tenant terms the queue is non-empty when
+		// another request is runnable, or when the next unadmitted arrival
+		// lands mid-slice.
+		othersWaiting := len(live) > 1
 		nextArrival := -1.0
-		if i+1 < len(queue) {
-			nextArrival = queue[i+1].Arrival
+		if next < len(queue) {
+			nextArrival = queue[next].Arrival
 		}
-		preempt := func(local float64) bool {
-			return nextArrival >= 0 && start+local >= nextArrival
+		sliceStart, localStart := now, c.solver.clk.Now()
+		c.solver.preempt = func(local float64) bool {
+			if othersWaiting {
+				return true
+			}
+			return nextArrival >= 0 && sliceStart+(local-localStart) >= nextArrival
 		}
-		res, err := s.runner.SolveWithPreemption(rq.Problem, preempt)
-		if err != nil {
-			return nil, fmt.Errorf("core: serving %s/%d: %w", rq.Problem.Dataset, rq.Problem.Index, err)
+		if !c.solver.begun {
+			c.solver.begin() // prompt prefill charges into the first slice
 		}
-		finish := start + res.Latency
-		out = append(out, ServedResult{
-			Result:  res,
-			Arrival: rq.Arrival, Start: start, Finish: finish,
-			QueueDelay: start - rq.Arrival,
-		})
-		now = finish
+
+		if err := c.solver.stepOnce(); err != nil {
+			return nil, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
+		}
+		delta := c.solver.clk.Now() - localStart
+		now += delta
+		c.work += delta
+		c.slices++
+
+		if c.solver.done() {
+			res, err := c.solver.result()
+			if err != nil {
+				return nil, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
+			}
+			c.done = true
+			inFlight--
+			out = append(out, ServedResult{
+				Result:  res,
+				Arrival: c.req.Arrival, Start: c.start, Finish: now,
+				QueueDelay:   c.start - c.req.Arrival,
+				WallLatency:  now - c.req.Arrival,
+				Slices:       c.slices,
+				UsefulTokens: res.TokensDecoded - res.SpecTokens + res.SpecRetained,
+			})
+			feed(now)
+		}
 	}
 	return out, nil
+}
+
+// insertByArrival inserts rq into the unadmitted tail queue[from:] at its
+// arrival-sorted position (after equal arrivals, preserving feed order).
+func insertByArrival(queue []Request, from int, rq Request) []Request {
+	pos := len(queue)
+	for pos > from && queue[pos-1].Arrival > rq.Arrival {
+		pos--
+	}
+	queue = append(queue, Request{})
+	copy(queue[pos+1:], queue[pos:])
+	queue[pos] = rq
+	return queue
+}
+
+// viewOf projects a session into the policy's read-only view.
+func (s *Server) viewOf(c *session) sched.ServeRequest {
+	remaining := c.est
+	if c.solver != nil {
+		remaining -= float64(c.solver.gen.DecodedTokens)
+	}
+	// Floor: a started request always has some residual demand, so SJF
+	// never starves it behind an estimate gone negative.
+	if floor := c.est * 0.02; remaining < floor {
+		remaining = floor
+	}
+	return sched.ServeRequest{
+		ID:            c.id,
+		Arrival:       c.req.Arrival,
+		Priority:      c.req.Priority,
+		Deadline:      c.req.Deadline,
+		Started:       c.started,
+		Start:         c.start,
+		WorkDone:      c.work,
+		RemainingWork: remaining,
+	}
+}
+
+// estimateWork predicts a request's total service demand in token units
+// for shortest-job ordering: prompt prefill plus the expected decode work
+// of the full search. Harder problems hold quality down, which delays the
+// termination logistic, so expected depth rises with difficulty.
+func (s *Server) estimateWork(p *workload.Problem) float64 {
+	spec := p.Spec()
+	meanStep := math.Exp(spec.StepLogMu + spec.StepLogSigma*spec.StepLogSigma/2)
+	steps := spec.TypicalSteps + 3*(p.Difficulty-0.5)
+	if steps < 1 {
+		steps = 1
+	}
+	if m := float64(spec.MaxSteps); steps > m {
+		steps = m
+	}
+	width := float64(s.cfg.Policy.Width())
+	return float64(p.PromptTokens) + width*steps*meanStep
+}
+
+// Stats reduces served results to the server-level aggregates of package
+// metrics. sloLatency is the wall-latency target in seconds (<= 0: none).
+func Stats(served []ServedResult, sloLatency float64) metrics.ServeStats {
+	samples := make([]metrics.ServeSample, len(served))
+	for i, sv := range served {
+		samples[i] = metrics.ServeSample{
+			Arrival: sv.Arrival, Start: sv.Start, Finish: sv.Finish,
+			Tokens: sv.UsefulTokens, Rejected: sv.Rejected,
+		}
+	}
+	return metrics.SummarizeServe(samples, sloLatency)
 }

@@ -83,6 +83,12 @@ type solver struct {
 	specRetained int64
 	recomputed   int64
 
+	maxIters int
+	begun    bool
+
+	// preempt is probed during decode rounds; while it returns true,
+	// speculative execution is suspended (§4.1.2). The multi-tenant server
+	// swaps it per device slice.
 	preempt func(now float64) bool
 }
 
@@ -131,6 +137,19 @@ func meanStepTokens(spec workload.DatasetSpec) int {
 }
 
 func (s *solver) run() (*Result, error) {
+	s.begin()
+	for !s.done() {
+		if err := s.stepOnce(); err != nil {
+			return nil, err
+		}
+	}
+	return s.result()
+}
+
+// begin charges the prompt prefill and seeds the root beams. It is the
+// prologue of run, split out so the serving engine can fold it into a
+// request's first device slice.
+func (s *solver) begin() {
 	pol := s.cfg.Policy
 	// Root beams share the prompt.
 	prompt := nodeTokens(promptNode, s.p.PromptTokens)
@@ -153,23 +172,40 @@ func (s *solver) run() (*Result, error) {
 			specR:   s.root.Child(fmt.Sprintf("spec/%d", id)),
 		})
 	}
+	s.maxIters = s.p.Spec().MaxSteps + 4
+	s.begun = true
+}
 
-	maxIters := s.p.Spec().MaxSteps + 4
-	for s.iter = 0; len(s.active) > 0 && s.iter < maxIters; s.iter++ {
-		if s.cfg.Opts.AsymmetricMemory || s.iter == 0 {
-			if err := s.allocate(); err != nil {
-				return nil, err
-			}
+// stepOnce runs one search iteration (allocate → generate → verify →
+// select). Each call is one preemptible device slice for the serving
+// engine; the solver's clock advances only inside it.
+func (s *solver) stepOnce() error {
+	if s.cfg.Opts.AsymmetricMemory || s.iter == 0 {
+		if err := s.allocate(); err != nil {
+			return err
 		}
-		ordered, err := s.generationPhase()
-		if err != nil {
-			return nil, err
-		}
-		s.verificationPhase(ordered)
-		s.selectAndBranch()
 	}
+	ordered, err := s.generationPhase()
+	if err != nil {
+		return err
+	}
+	s.verificationPhase(ordered)
+	s.selectAndBranch()
+	s.iter++
+	return nil
+}
+
+// done reports whether the search loop has terminated (all paths
+// collected, or the iteration cap reached).
+func (s *solver) done() bool {
+	return s.begun && (len(s.active) == 0 || s.iter >= s.maxIters)
+}
+
+// result assembles the final Result; it errors if the search ran out of
+// iterations with beams still active.
+func (s *solver) result() (*Result, error) {
 	if len(s.active) > 0 {
-		return nil, fmt.Errorf("core: search did not converge after %d iterations", maxIters)
+		return nil, fmt.Errorf("core: search did not converge after %d iterations", s.maxIters)
 	}
 
 	res := &Result{
@@ -213,7 +249,7 @@ func (s *solver) allocate() error {
 		Verifier:     s.cfg.Verifier,
 		N:            n,
 		SeqVerifier:  avgLen,
-		SeqDecode:    maxInt(s.meanStep, 16),
+		SeqDecode:    max(s.meanStep, 16),
 		BudgetBytes:  s.kvBudget,
 		AllowOffload: s.cfg.Opts.AllowOffload,
 	}
@@ -267,7 +303,7 @@ func (s *solver) allocate() error {
 	if err := s.ver.Eng.ResizeCache(verBytes); err != nil {
 		return err
 	}
-	s.ver.BatchSize = maxInt(plan.BPre, 1)
+	s.ver.BatchSize = max(plan.BPre, 1)
 	return nil
 }
 
@@ -551,9 +587,9 @@ func (h specHeap) Less(i, j int) bool {
 	}
 	return h[i].b.id < h[j].b.id
 }
-func (h specHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *specHeap) Push(x interface{}) { *h = append(*h, x.(specCandidate)) }
-func (h *specHeap) Pop() interface{} {
+func (h specHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *specHeap) Push(x any)   { *h = append(*h, x.(specCandidate)) }
+func (h *specHeap) Pop() any {
 	old := *h
 	x := old[len(old)-1]
 	*h = old[:len(old)-1]
@@ -894,11 +930,4 @@ func (s *solver) swapForGeneration() {
 func (s *solver) swapForVerification() {
 	moved := s.gen.Cache.UsedBytes() + s.ver.Eng.Cache.UsedBytes()
 	s.ver.Eng.SwapTransfer(moved)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

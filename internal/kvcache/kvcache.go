@@ -465,11 +465,11 @@ func (c *Cache) evict(n *node) {
 
 type evictHeap []*node
 
-func (h evictHeap) Len() int            { return len(h) }
-func (h evictHeap) Less(i, j int) bool  { return h[i].lastUsed < h[j].lastUsed }
-func (h evictHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
-func (h *evictHeap) Push(x interface{}) { n := x.(*node); n.heapIdx = len(*h); *h = append(*h, n) }
-func (h *evictHeap) Pop() interface{} {
+func (h evictHeap) Len() int           { return len(h) }
+func (h evictHeap) Less(i, j int) bool { return h[i].lastUsed < h[j].lastUsed }
+func (h evictHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *evictHeap) Push(x any)        { n := x.(*node); n.heapIdx = len(*h); *h = append(*h, n) }
+func (h *evictHeap) Pop() any {
 	old := *h
 	n := old[len(old)-1]
 	old[len(old)-1] = nil

@@ -1,0 +1,103 @@
+package metrics
+
+// Server-level aggregates for the multi-tenant serving engine: latency
+// percentiles, queueing delay, server goodput, and SLO attainment over a
+// whole served request stream.
+
+import (
+	"math"
+	"sort"
+)
+
+// ServeSample is the telemetry of one request as seen by the server.
+type ServeSample struct {
+	// Arrival, Start, and Finish are on the server clock; Start and
+	// Finish are meaningless when Rejected.
+	Arrival, Start, Finish float64
+	// Tokens is the request's useful generated output (prompt excluded).
+	Tokens int64
+	// Rejected marks requests shed by admission control.
+	Rejected bool
+}
+
+// ServeStats aggregates a served request stream.
+type ServeStats struct {
+	Served, Rejected int
+	// Makespan is the finish time of the last served request.
+	Makespan float64
+	// MeanQueueDelay / MaxQueueDelay aggregate Start − Arrival.
+	MeanQueueDelay, MaxQueueDelay float64
+	// Latency here is wall latency, Finish − Arrival: what a client
+	// experiences, queueing included.
+	MeanLatency, P50Latency, P95Latency, P99Latency float64
+	// Goodput is useful tokens per second of makespan across the stream.
+	Goodput float64
+	// SLOAttainment is the fraction of all submitted requests whose wall
+	// latency met the target; rejected requests count as misses, since
+	// shed load is not attained load. It is 1 when no target was set.
+	SLOAttainment float64
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs by the
+// nearest-rank method, 0 for empty input. xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// SummarizeServe reduces a served stream to server-level aggregates.
+// sloLatency is the wall-latency target in seconds; <= 0 disables the
+// SLO-attainment metric (reported as 1).
+func SummarizeServe(samples []ServeSample, sloLatency float64) ServeStats {
+	s := ServeStats{SLOAttainment: 1}
+	var queued, wall []float64
+	var tokens int64
+	attained := 0
+	for _, sm := range samples {
+		if sm.Rejected {
+			s.Rejected++
+			continue
+		}
+		s.Served++
+		q := sm.Start - sm.Arrival
+		w := sm.Finish - sm.Arrival
+		queued = append(queued, q)
+		wall = append(wall, w)
+		tokens += sm.Tokens
+		if q > s.MaxQueueDelay {
+			s.MaxQueueDelay = q
+		}
+		if sm.Finish > s.Makespan {
+			s.Makespan = sm.Finish
+		}
+		if w <= sloLatency {
+			attained++
+		}
+	}
+	s.MeanQueueDelay = Mean(queued)
+	s.MeanLatency = Mean(wall)
+	s.P50Latency = Percentile(wall, 50)
+	s.P95Latency = Percentile(wall, 95)
+	s.P99Latency = Percentile(wall, 99)
+	if s.Makespan > 0 {
+		s.Goodput = float64(tokens) / s.Makespan
+	}
+	if total := s.Served + s.Rejected; sloLatency > 0 && total > 0 {
+		s.SLOAttainment = float64(attained) / float64(total)
+	}
+	return s
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	var xs []float64
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, float64(i))
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {1, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100},
+	} {
+		if got := Percentile(xs, tc.p); got != tc.want {
+			t.Errorf("Percentile(1..100, %v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("Percentile([7], 99) = %v, want 7", got)
+	}
+	// Input order must not matter.
+	if got := Percentile([]float64{3, 1, 2}, 50); got != 2 {
+		t.Errorf("Percentile([3 1 2], 50) = %v, want 2", got)
+	}
+}
+
+func TestSummarizeServe(t *testing.T) {
+	samples := []ServeSample{
+		{Arrival: 0, Start: 0, Finish: 10, Tokens: 100},
+		{Arrival: 2, Start: 10, Finish: 20, Tokens: 300},
+		{Arrival: 4, Start: 20, Finish: 25, Tokens: 100},
+		{Arrival: 5, Rejected: true},
+	}
+	s := SummarizeServe(samples, 18)
+	if s.Served != 3 || s.Rejected != 1 {
+		t.Fatalf("served/rejected = %d/%d, want 3/1", s.Served, s.Rejected)
+	}
+	if s.Makespan != 25 {
+		t.Errorf("makespan %v, want 25", s.Makespan)
+	}
+	// Queue delays: 0, 8, 16 → mean 8, max 16.
+	if s.MeanQueueDelay != 8 || s.MaxQueueDelay != 16 {
+		t.Errorf("queue delay mean/max = %v/%v, want 8/16", s.MeanQueueDelay, s.MaxQueueDelay)
+	}
+	// Wall latencies: 10, 18, 21 → p50 = 18, p99 = 21.
+	if s.P50Latency != 18 || s.P99Latency != 21 {
+		t.Errorf("p50/p99 = %v/%v, want 18/21", s.P50Latency, s.P99Latency)
+	}
+	if want := (10.0 + 18 + 21) / 3; math.Abs(s.MeanLatency-want) > 1e-12 {
+		t.Errorf("mean latency %v, want %v", s.MeanLatency, want)
+	}
+	if want := 500.0 / 25; s.Goodput != want {
+		t.Errorf("goodput %v, want %v", s.Goodput, want)
+	}
+	// 2 of 4 requests met the 18 s SLO (21 s missed; rejection is a miss).
+	if want := 0.5; s.SLOAttainment != want {
+		t.Errorf("SLO attainment %v, want %v", s.SLOAttainment, want)
+	}
+
+	if s := SummarizeServe(samples, 0); s.SLOAttainment != 1 {
+		t.Errorf("no-SLO attainment %v, want 1 (metric disabled)", s.SLOAttainment)
+	}
+	if s := SummarizeServe(nil, 1); s.Served != 0 || s.SLOAttainment != 1 {
+		t.Errorf("empty stream: %+v", s)
+	}
+}

@@ -90,6 +90,15 @@ func (s *Stream) NormClamped(mean, stddev, lo, hi float64) float64 {
 	return v
 }
 
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (s *Stream) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: non-positive exponential rate")
+	}
+	return -math.Log(1-s.rand.Float64()) / rate
+}
+
 // Bool returns true with probability p.
 func (s *Stream) Bool(p float64) bool { return s.rand.Float64() < p }
 

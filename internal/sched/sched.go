@@ -1,6 +1,8 @@
 // Package sched implements Dynamic Prefix-Aware Scheduling (paper §4.2,
 // Fig 8, Appendix A) together with the Random and Worst-Case comparison
-// orderings used in the evaluation (Fig 18 left).
+// orderings used in the evaluation (Fig 18 left), and the serving-level
+// ServePolicy admission/ordering disciplines (FCFS, SJF, priority,
+// deadline-SLO) used by the multi-tenant serving engine (serve.go).
 //
 // A reasoning path (CoT) is described by its lineage: the chain of
 // radix-tree nodes from the root of the reasoning tree to the path's

@@ -1,0 +1,57 @@
+package workload
+
+// Arrival-process generators for the multi-tenant serving engine. An
+// open-loop client population submits requests on its own schedule
+// regardless of server progress (the EdgeReasoning-style characterization
+// of concurrent edge traffic); a closed-loop population keeps a fixed
+// number of requests outstanding, issuing the next one only after the
+// previous completes.
+
+import "fasttts/internal/rng"
+
+// PoissonArrivals returns n non-decreasing arrival times of an open-loop
+// Poisson process with the given mean rate in requests per second.
+// Sampling is driven entirely by r, so equal streams give equal traces.
+func PoissonArrivals(n int, rate float64, r *rng.Stream) []float64 {
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += r.Exp(rate)
+		out[i] = t
+	}
+	return out
+}
+
+// UniformArrivals returns n arrivals evenly spaced `spacing` seconds
+// apart, starting at zero — the deterministic open-loop baseline.
+func UniformArrivals(n int, spacing float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i) * spacing
+	}
+	return out
+}
+
+// BurstArrivals returns n arrivals in bursts of `burst` simultaneous
+// requests, with `gap` seconds between bursts — the adversarial pattern
+// for admission control.
+func BurstArrivals(n, burst int, gap float64) []float64 {
+	if burst < 1 {
+		burst = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i/burst) * gap
+	}
+	return out
+}
+
+// ClosedLoop describes a fixed-concurrency closed-loop workload:
+// Concurrency clients each keep exactly one request outstanding, issuing
+// their next request Think seconds after the previous one completes.
+// Arrival times therefore depend on server progress and are materialized
+// by the serving engine, not precomputed.
+type ClosedLoop struct {
+	Concurrency int
+	Think       float64
+}

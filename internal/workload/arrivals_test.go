@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"fasttts/internal/rng"
+)
+
+func TestPoissonArrivalsShape(t *testing.T) {
+	const n, rate = 4000, 2.0
+	times := PoissonArrivals(n, rate, rng.New(7).Child("arr"))
+	if len(times) != n {
+		t.Fatalf("got %d arrivals, want %d", len(times), n)
+	}
+	prev := 0.0
+	for i, ts := range times {
+		if ts <= prev {
+			t.Fatalf("arrival %d at %v not after %v", i, ts, prev)
+		}
+		prev = ts
+	}
+	// Mean inter-arrival time converges to 1/rate.
+	mean := times[n-1] / float64(n)
+	if math.Abs(mean-1/rate) > 0.05/rate {
+		t.Errorf("mean inter-arrival %v, want ≈ %v", mean, 1/rate)
+	}
+}
+
+func TestPoissonArrivalsDeterministic(t *testing.T) {
+	a := PoissonArrivals(64, 1.5, rng.New(7).Child("arr"))
+	b := PoissonArrivals(64, 1.5, rng.New(7).Child("arr"))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across equal streams: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestUniformArrivals(t *testing.T) {
+	times := UniformArrivals(5, 2.5)
+	for i, ts := range times {
+		if want := 2.5 * float64(i); ts != want {
+			t.Errorf("arrival %d at %v, want %v", i, ts, want)
+		}
+	}
+}
+
+func TestBurstArrivals(t *testing.T) {
+	times := BurstArrivals(7, 3, 10)
+	want := []float64{0, 0, 0, 10, 10, 10, 20}
+	for i := range times {
+		if times[i] != want[i] {
+			t.Errorf("arrival %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package fasttts_test
+
+import (
+	"math"
+	"testing"
+
+	"fasttts"
+)
+
+func testServeConfig() fasttts.Config {
+	return fasttts.Config{
+		Pair:     fasttts.Pair1_5B1_5B,
+		NumBeams: 8,
+		Seed:     42,
+	}
+}
+
+func loadServeProblems(t *testing.T, n int) []*fasttts.Problem {
+	t.Helper()
+	aime, err := fasttts.LoadDataset("AIME24", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := fasttts.LoadDataset("MATH500", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*fasttts.Problem
+	for i := 0; len(out) < n; i++ {
+		out = append(out, aime.Problems[i%len(aime.Problems)])
+		if len(out) < n {
+			out = append(out, short.Problems[i])
+		}
+	}
+	return out
+}
+
+// TestServeConfigPolicies drives each policy through the public API and
+// checks the served stream and its aggregates are well-formed.
+func TestServeConfigPolicies(t *testing.T) {
+	probs := loadServeProblems(t, 8)
+	reqs := fasttts.PoissonRequests(probs, 0.5, 11)
+	for _, policy := range []string{"", "fcfs", "sjf", "priority", "deadline"} {
+		srv, err := fasttts.NewServerWith(fasttts.ServeConfig{
+			Config: testServeConfig(), Policy: policy, SLOLatency: 120,
+		})
+		if err != nil {
+			t.Fatalf("policy %q: %v", policy, err)
+		}
+		served, err := srv.Run(reqs)
+		if err != nil {
+			t.Fatalf("policy %q: %v", policy, err)
+		}
+		if len(served) != len(reqs) {
+			t.Fatalf("policy %q: served %d of %d", policy, len(served), len(reqs))
+		}
+		for i, sv := range served {
+			if sv.Rejected || sv.Result == nil {
+				t.Fatalf("policy %q: request %d rejected or missing result", policy, i)
+			}
+			if sv.StartTime < sv.ArrivalTime {
+				t.Errorf("policy %q: request %d started before arrival", policy, i)
+			}
+			if got := sv.FinishTime - sv.ArrivalTime; math.Abs(sv.WallLatency-got) > 1e-12 {
+				t.Errorf("policy %q: wall latency %v != finish-arrival %v", policy, sv.WallLatency, got)
+			}
+		}
+		st := srv.Stats(served)
+		if st.Served != len(reqs) || st.Rejected != 0 {
+			t.Errorf("policy %q: stats served/rejected %d/%d", policy, st.Served, st.Rejected)
+		}
+		if st.P50Latency > st.P95Latency || st.P95Latency > st.P99Latency {
+			t.Errorf("policy %q: percentiles not ordered: %+v", policy, st)
+		}
+		if st.SLOAttainment < 0 || st.SLOAttainment > 1 {
+			t.Errorf("policy %q: SLO attainment %v outside [0,1]", policy, st.SLOAttainment)
+		}
+		if st.Goodput <= 0 {
+			t.Errorf("policy %q: non-positive goodput", policy)
+		}
+	}
+
+	if _, err := fasttts.NewServerWith(fasttts.ServeConfig{Config: testServeConfig(), Policy: "lifo"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// TestServeAdmissionControl sheds load beyond MaxInFlight.
+func TestServeAdmissionControl(t *testing.T) {
+	probs := loadServeProblems(t, 6)
+	srv, err := fasttts.NewServerWith(fasttts.ServeConfig{
+		Config: testServeConfig(), MaxInFlight: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]fasttts.Request, len(probs))
+	for i, p := range probs {
+		reqs[i] = fasttts.Request{Problem: p} // simultaneous burst
+	}
+	served, err := srv.Run(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats(served)
+	if st.Served != 2 || st.Rejected != 4 {
+		t.Errorf("served/rejected = %d/%d, want 2/4", st.Served, st.Rejected)
+	}
+}
+
+// TestServeClosedLoop runs the fixed-concurrency loop via the public API.
+func TestServeClosedLoop(t *testing.T) {
+	probs := loadServeProblems(t, 6)
+	srv, err := fasttts.NewServer(testServeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, err := srv.RunClosedLoop(probs, 2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(served) != len(probs) {
+		t.Fatalf("served %d of %d", len(served), len(probs))
+	}
+}

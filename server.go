@@ -1,6 +1,14 @@
 package fasttts
 
-import "fasttts/internal/core"
+import (
+	"fmt"
+
+	"fasttts/internal/core"
+	"fasttts/internal/metrics"
+	"fasttts/internal/rng"
+	"fasttts/internal/sched"
+	"fasttts/internal/workload"
+)
 
 // Request is one queued query for a Server.
 type Request struct {
@@ -8,58 +16,211 @@ type Request struct {
 	// ArrivalTime is when the request reaches the server, in seconds on
 	// the server clock.
 	ArrivalTime float64
+	// Priority orders requests under the "priority" policy; larger runs
+	// first.
+	Priority int
+	// Deadline is the absolute SLO deadline on the server clock used by
+	// the "deadline" policy; 0 means none.
+	Deadline float64
 }
 
-// ServedResult is a Result plus queueing telemetry.
+// ServedResult is a Result plus queueing telemetry. Result is nil (and
+// only then) for requests shed by admission control.
 type ServedResult struct {
 	*Result
 	ArrivalTime float64
 	StartTime   float64
 	FinishTime  float64
+	// QueueDelay = StartTime − ArrivalTime. The embedded Result's Latency
+	// is pure device (service) time; WallLatency = FinishTime −
+	// ArrivalTime additionally includes queueing and slices the device
+	// spent on other tenants.
 	QueueDelay  float64
+	WallLatency float64
+	// Slices counts the device slices the request ran in.
+	Slices int
+	// UsefulTokens is the request's useful generated output (all decoded
+	// tokens minus speculative ones, plus speculative tokens adopted by
+	// surviving beams); server-level goodput sums this.
+	UsefulTokens int64
+	// Rejected marks requests shed by admission control.
+	Rejected bool
 }
 
-// Server serves a stream of TTS requests with the paper's two-phase
-// preemptible scheduler (§4.1.2): speculative execution runs only while
-// the waiting queue is empty and is preempted the moment a request
-// arrives, preserving responsiveness.
+// ServeConfig configures the multi-tenant serving engine on top of a
+// deployment Config.
+type ServeConfig struct {
+	Config
+	// Policy names the admission/ordering discipline: "fcfs" (default),
+	// "sjf" (shortest predicted remaining work, First-Finish style),
+	// "priority", or "deadline" (earliest-deadline-first).
+	Policy string
+	// MaxInFlight, when positive, sheds arrivals beyond this many
+	// admitted unfinished requests (they come back Rejected).
+	MaxInFlight int
+	// SLOLatency is the per-request wall-latency target in seconds used
+	// by Stats; 0 disables SLO accounting.
+	SLOLatency float64
+}
+
+// ServeStats aggregates a served request stream (see Server.Stats).
+type ServeStats struct {
+	Served, Rejected int
+	// Makespan is the finish time of the last served request.
+	Makespan float64
+	// Queue delay is StartTime − ArrivalTime; latency here is wall
+	// latency, FinishTime − ArrivalTime.
+	MeanQueueDelay, MaxQueueDelay                   float64
+	MeanLatency, P50Latency, P95Latency, P99Latency float64
+	// Goodput is useful generated tokens per second of makespan.
+	Goodput float64
+	// SLOAttainment is the fraction of all submitted requests meeting
+	// SLOLatency (rejected requests count as misses); 1 when no target
+	// is set.
+	SLOAttainment float64
+}
+
+// Server serves a stream of TTS requests with the multi-tenant serving
+// engine: an event-driven virtual clock time-slices the device between
+// admitted requests at search-iteration granularity, and the paper's
+// two-phase preemptible scheduler (§4.1.2) governs speculation — it runs
+// only while no other request waits and is preempted the moment one
+// arrives. Under the default FCFS policy the engine reproduces the
+// sequential scheduler of the paper exactly.
 type Server struct {
 	inner *core.Server
+	slo   float64
 }
 
-// NewServer builds a server for the given deployment configuration.
+// NewServer builds an FCFS server for the given deployment configuration.
 func NewServer(c Config) (*Server, error) {
-	cc, err := buildCoreConfig(c)
-	if err != nil {
-		return nil, err
-	}
-	srv, err := core.NewServer(cc)
-	if err != nil {
-		return nil, err
-	}
-	return &Server{inner: srv}, nil
+	return NewServerWith(ServeConfig{Config: c})
 }
 
-// Run serves the requests FCFS and returns per-request results.
+// NewServerWith builds a server with an explicit serving configuration.
+func NewServerWith(sc ServeConfig) (*Server, error) {
+	cc, err := buildCoreConfig(sc.Config)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := sched.PolicyByName(sc.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if sc.MaxInFlight > 0 {
+		pol = sched.AdmissionLimit{Inner: pol, MaxInFlight: sc.MaxInFlight}
+	}
+	srv, err := core.NewServerWithPolicy(cc, pol)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: srv, slo: sc.SLOLatency}, nil
+}
+
+// Run serves an open-loop request stream and returns per-request results
+// in completion order (rejected requests appear at their rejection time).
 func (s *Server) Run(reqs []Request) ([]ServedResult, error) {
 	inner := make([]core.Request, len(reqs))
 	for i, r := range reqs {
-		inner[i] = core.Request{Problem: r.Problem.inner, Arrival: r.ArrivalTime}
+		inner[i] = core.Request{
+			Problem:  r.Problem.inner,
+			Arrival:  r.ArrivalTime,
+			Priority: r.Priority,
+			Deadline: r.Deadline,
+		}
 	}
 	served, err := s.inner.Run(inner)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]ServedResult, len(served))
+	return wrapServed(served), nil
+}
+
+// RunClosedLoop serves the problems under a fixed-concurrency closed
+// loop: concurrency clients each keep one request outstanding and issue
+// their next request think seconds after the previous one completes.
+func (s *Server) RunClosedLoop(probs []*Problem, concurrency int, think float64) ([]ServedResult, error) {
+	inner := make([]*workload.Problem, len(probs))
+	for i, p := range probs {
+		inner[i] = p.inner
+	}
+	served, err := s.inner.RunClosedLoop(inner, workload.ClosedLoop{Concurrency: concurrency, Think: think})
+	if err != nil {
+		return nil, err
+	}
+	return wrapServed(served), nil
+}
+
+// Stats reduces served results to server-level aggregates, applying the
+// configured SLOLatency.
+func (s *Server) Stats(served []ServedResult) ServeStats {
+	samples := make([]metrics.ServeSample, len(served))
 	for i, sv := range served {
-		res := wrapResult(sv.Result)
-		out[i] = ServedResult{
-			Result:      res,
-			ArrivalTime: sv.Arrival,
-			StartTime:   sv.Start,
-			FinishTime:  sv.Finish,
-			QueueDelay:  sv.QueueDelay,
+		samples[i] = metrics.ServeSample{
+			Arrival: sv.ArrivalTime, Start: sv.StartTime, Finish: sv.FinishTime,
+			Tokens: sv.UsefulTokens, Rejected: sv.Rejected,
 		}
 	}
-	return out, nil
+	m := metrics.SummarizeServe(samples, s.slo)
+	return ServeStats{
+		Served: m.Served, Rejected: m.Rejected,
+		Makespan:       m.Makespan,
+		MeanQueueDelay: m.MeanQueueDelay, MaxQueueDelay: m.MaxQueueDelay,
+		MeanLatency: m.MeanLatency,
+		P50Latency:  m.P50Latency, P95Latency: m.P95Latency, P99Latency: m.P99Latency,
+		Goodput:       m.Goodput,
+		SLOAttainment: m.SLOAttainment,
+	}
+}
+
+// PoissonRequests assigns open-loop Poisson arrival times (mean rate
+// requests/second) to the problems, deterministically from the seed.
+// It panics if rate is not positive.
+func PoissonRequests(probs []*Problem, rate float64, seed uint64) []Request {
+	if rate <= 0 {
+		panic(fmt.Sprintf("fasttts: PoissonRequests rate must be positive, got %v", rate))
+	}
+	return withArrivals(probs, workload.PoissonArrivals(len(probs), rate, rng.New(seed).Child("arrivals/poisson")))
+}
+
+// UniformRequests assigns evenly spaced arrivals to the problems.
+func UniformRequests(probs []*Problem, spacing float64) []Request {
+	return withArrivals(probs, workload.UniformArrivals(len(probs), spacing))
+}
+
+// BurstRequests releases the problems in bursts of `burst` simultaneous
+// requests, gap seconds apart — the adversarial arrival pattern for
+// admission control.
+func BurstRequests(probs []*Problem, burst int, gap float64) []Request {
+	return withArrivals(probs, workload.BurstArrivals(len(probs), burst, gap))
+}
+
+func withArrivals(probs []*Problem, times []float64) []Request {
+	out := make([]Request, len(probs))
+	for i, p := range probs {
+		out[i] = Request{Problem: p, ArrivalTime: times[i]}
+	}
+	return out
+}
+
+func wrapServed(served []core.ServedResult) []ServedResult {
+	out := make([]ServedResult, len(served))
+	for i, sv := range served {
+		var res *Result
+		if sv.Result != nil {
+			res = wrapResult(sv.Result)
+		}
+		out[i] = ServedResult{
+			Result:       res,
+			ArrivalTime:  sv.Arrival,
+			StartTime:    sv.Start,
+			FinishTime:   sv.Finish,
+			QueueDelay:   sv.QueueDelay,
+			WallLatency:  sv.WallLatency,
+			Slices:       sv.Slices,
+			UsefulTokens: sv.UsefulTokens,
+			Rejected:     sv.Rejected,
+		}
+	}
+	return out
 }
