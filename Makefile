@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench
+.PHONY: all build test lint bench cover
 
 all: build lint test
 
@@ -21,3 +21,7 @@ lint:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -n 20

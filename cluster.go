@@ -1,0 +1,234 @@
+package fasttts
+
+import (
+	"fmt"
+
+	"fasttts/internal/cluster"
+	"fasttts/internal/core"
+	"fasttts/internal/metrics"
+	"fasttts/internal/sched"
+)
+
+// DeviceSpec describes one member of a heterogeneous edge fleet: a full
+// deployment Config (GPU, model pair, search algorithm, seed) plus the
+// device's serving policy and fault-injection knobs.
+type DeviceSpec struct {
+	Config
+	// Policy names the device's admission/ordering discipline ("fcfs",
+	// "sjf", "priority", "deadline"); empty means fcfs.
+	Policy string
+	// MaxInFlight, when positive, sheds arrivals beyond this many
+	// admitted unfinished requests on this device.
+	MaxInFlight int
+	// Slowdown is the straggler factor: wall-clock stretch of every
+	// device slice (thermal throttling, background load). Values below 1
+	// mean none.
+	Slowdown float64
+	// FailAt, when positive, fail-stops the device at that fleet time:
+	// it finishes its in-progress slice, then all its unfinished requests
+	// are requeued to the surviving devices (partial work lost).
+	FailAt float64
+}
+
+// ClusterConfig configures a fleet of heterogeneous edge devices serving
+// one request stream behind a router.
+type ClusterConfig struct {
+	Devices []DeviceSpec
+	// Router names the request-routing discipline:
+	//
+	//	single      pass-through to the first alive device
+	//	rr          round-robin (default)
+	//	least-work  smallest estimated outstanding work / device speed
+	//	jsq         join the shortest queue
+	//	p2c         power-of-two-choices on expected drain time
+	//	prefix      prefix-affinity with load fallback (§4.2, inter-device)
+	Router string
+	// Seed drives the router's randomness (p2c); device engines draw from
+	// their own Config seeds. Equal seeds give bit-identical fleet runs.
+	Seed uint64
+	// SLOLatency is the per-request wall-latency target in seconds used
+	// by FleetRun.Stats; 0 disables SLO accounting.
+	SLOLatency float64
+}
+
+// FleetResult is one fleet-served request: the usual ServedResult plus
+// which device produced it and how often failures migrated it.
+type FleetResult struct {
+	ServedResult
+	// Device is the fleet index of the serving (or rejecting) device; -1
+	// for requests shed because no device survived to serve them.
+	Device int
+	// Requeues counts how many device failures displaced this request
+	// before this outcome.
+	Requeues int
+}
+
+// FleetDeviceStats aggregates one device's run.
+type FleetDeviceStats struct {
+	Device int
+	Served int
+	Tokens int64
+	// BusyTime is wall-clock seconds spent executing slices (lost work
+	// included); Utilization is BusyTime over the device's fleet
+	// lifetime; Goodput is useful tokens per lifetime second.
+	BusyTime    float64
+	Utilization float64
+	Goodput     float64
+	Failed      bool
+}
+
+// FleetStats aggregates a fleet-served request stream: the server-level
+// aggregates over the merged stream plus fleet-only metrics.
+type FleetStats struct {
+	ServeStats
+	PerDevice []FleetDeviceStats
+	// ImbalanceCV is the load-imbalance coefficient: the coefficient of
+	// variation of per-device busy time (0 = perfectly balanced).
+	ImbalanceCV float64
+	// Requeues counts failure-induced request migrations.
+	Requeues int
+	// PrefixHitRate is the fleet prompt-prefix KV hit rate in tokens (0
+	// when no prefix traffic).
+	PrefixHitRate float64
+	FailedDevices int
+}
+
+// Cluster serves request streams with a fleet of heterogeneous edge
+// devices. Each device runs its own multi-tenant serving engine (its own
+// GPU, model pair, policy, and virtual clock); a pluggable router assigns
+// every request to a device at its arrival instant; device fail-stops
+// requeue unfinished work to the survivors. A 1-device cluster with the
+// "single" router reproduces Server's results exactly. Clusters are
+// reusable: every Run builds a fresh fleet, so equal seeds give
+// bit-identical runs.
+type Cluster struct {
+	devices []cluster.Device
+	router  string
+	seed    uint64
+	slo     float64
+}
+
+// FleetRun is the outcome of one Cluster.Run.
+type FleetRun struct {
+	// Results holds per-request outcomes in fleet event order (each
+	// device's completions in completion order, interleaved at global
+	// event granularity).
+	Results []FleetResult
+	stats   FleetStats
+}
+
+// Stats returns the fleet-level aggregates of the run, computed with the
+// cluster's SLOLatency.
+func (fr *FleetRun) Stats() FleetStats { return fr.stats }
+
+// NewCluster validates the configuration and builds the cluster.
+func NewCluster(cc ClusterConfig) (*Cluster, error) {
+	if len(cc.Devices) == 0 {
+		return nil, fmt.Errorf("fasttts: cluster needs at least one device")
+	}
+	if _, err := cluster.RouterByName(cc.Router); err != nil {
+		return nil, err
+	}
+	devices := make([]cluster.Device, len(cc.Devices))
+	for i, spec := range cc.Devices {
+		coreCfg, err := buildCoreConfig(spec.Config)
+		if err != nil {
+			return nil, fmt.Errorf("fasttts: device %d: %w", i, err)
+		}
+		pol, err := sched.PolicyByName(spec.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("fasttts: device %d: %w", i, err)
+		}
+		if spec.MaxInFlight > 0 {
+			pol = sched.AdmissionLimit{Inner: pol, MaxInFlight: spec.MaxInFlight}
+		}
+		devices[i] = cluster.Device{
+			Config:   coreCfg,
+			Policy:   pol,
+			Slowdown: spec.Slowdown,
+			FailAt:   spec.FailAt,
+		}
+	}
+	c := &Cluster{devices: devices, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency}
+	// Fail fast on anything fleet construction itself would reject.
+	if _, err := c.newFleet(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) newFleet() (*cluster.Fleet, error) {
+	router, err := cluster.RouterByName(c.router)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{Devices: c.devices, Router: router, Seed: c.seed})
+}
+
+// Run serves an open-loop request stream across the fleet.
+func (c *Cluster) Run(reqs []Request) (*FleetRun, error) {
+	fleet, err := c.newFleet()
+	if err != nil {
+		return nil, err
+	}
+	inner := make([]core.Request, len(reqs))
+	for i, r := range reqs {
+		inner[i] = core.Request{
+			Problem:  r.Problem.inner,
+			Arrival:  r.ArrivalTime,
+			Priority: r.Priority,
+			Deadline: r.Deadline,
+			Tag:      i,
+		}
+	}
+	out, err := fleet.Run(inner)
+	if err != nil {
+		return nil, err
+	}
+	fr := &FleetRun{Results: make([]FleetResult, len(out.Results))}
+	for i, r := range out.Results {
+		var res *Result
+		if r.Result != nil {
+			res = wrapResult(r.Result)
+		}
+		fr.Results[i] = FleetResult{
+			ServedResult: ServedResult{
+				Result:       res,
+				ArrivalTime:  r.Arrival,
+				StartTime:    r.Start,
+				FinishTime:   r.Finish,
+				QueueDelay:   r.QueueDelay,
+				WallLatency:  r.WallLatency,
+				Slices:       r.Slices,
+				UsefulTokens: r.UsefulTokens,
+				Rejected:     r.Rejected,
+			},
+			Device:   r.Device,
+			Requeues: r.Requeues,
+		}
+	}
+	fr.stats = wrapFleetStats(out.Stats(c.slo))
+	return fr, nil
+}
+
+func wrapFleetStats(m metrics.FleetStats) FleetStats {
+	st := FleetStats{
+		ServeStats:    wrapServeStats(m.ServeStats),
+		ImbalanceCV:   m.ImbalanceCV,
+		Requeues:      m.Requeues,
+		PrefixHitRate: m.PrefixHitRate,
+		FailedDevices: m.FailedDevices,
+	}
+	for i, d := range m.Devices {
+		st.PerDevice = append(st.PerDevice, FleetDeviceStats{
+			Device:      i,
+			Served:      d.Served,
+			Tokens:      d.Tokens,
+			BusyTime:    d.Busy,
+			Utilization: d.Utilization,
+			Goodput:     d.Goodput,
+			Failed:      d.Failed,
+		})
+	}
+	return st
+}

@@ -1,21 +1,27 @@
-// Command fastttsserve load-tests the multi-tenant serving engine: it
-// generates an open-loop (Poisson) or closed-loop (fixed-concurrency)
-// request stream over a benchmark dataset, serves it under a chosen
-// admission/ordering policy, and prints per-request telemetry plus the
-// server-level aggregates (latency percentiles, queue delay, goodput,
-// SLO attainment).
+// Command fastttsserve load-tests the serving stack: it generates an
+// open-loop (Poisson) or closed-loop (fixed-concurrency) request stream
+// over a benchmark dataset and serves it either on a single multi-tenant
+// device under a chosen admission/ordering policy, or — with -devices —
+// across a heterogeneous edge fleet under a chosen router, with optional
+// straggler and fail-stop injection. It prints per-request telemetry plus
+// the server- or fleet-level aggregates, or the full stats struct as JSON
+// with -json.
 //
 // Usage:
 //
 //	fastttsserve -n 32 -rate 0.5 -policy sjf
 //	fastttsserve -n 16 -closed -concurrency 4 -think 1
-//	fastttsserve -n 24 -policy fcfs -compare sjf -slo 120
+//	fastttsserve -n 24 -policy fcfs -compare sjf -slo 120 -json
+//	fastttsserve -n 32 -devices "RTX 4090,RTX 4090,RTX 4070 Ti,RTX 3070 Ti" \
+//	    -router prefix -compare rr,p2c -slow 1:4 -fail 3:200
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"fasttts"
@@ -32,14 +38,19 @@ func main() {
 		n           = flag.Int("n", 16, "number of requests")
 		seed        = flag.Uint64("seed", 42, "random seed (deployment and arrivals)")
 		policy      = flag.String("policy", "fcfs", "serve policy: fcfs, sjf, priority, deadline")
-		compare     = flag.String("compare", "", "comma-separated extra policies to run on the same trace")
+		compare     = flag.String("compare", "", "comma-separated extra policies (or, with -devices, routers) to run on the same trace")
 		rate        = flag.Float64("rate", 0.5, "open-loop Poisson arrival rate, requests/s")
 		closed      = flag.Bool("closed", false, "closed-loop (fixed-concurrency) instead of open-loop")
 		concurrency = flag.Int("concurrency", 4, "closed-loop client count")
 		think       = flag.Float64("think", 0, "closed-loop think time, seconds")
-		maxInFlight = flag.Int("max-inflight", 0, "admission limit (0 = unlimited)")
+		maxInFlight = flag.Int("max-inflight", 0, "admission limit per device (0 = unlimited)")
 		slo         = flag.Float64("slo", 0, "wall-latency SLO target in seconds (0 = none)")
-		verbose     = flag.Bool("v", false, "print per-request telemetry")
+		verbose     = flag.Bool("v", false, "print per-request (and per-device) telemetry")
+		jsonOut     = flag.Bool("json", false, "emit the full stats struct as JSON instead of tables")
+		devices     = flag.String("devices", "", "comma-separated fleet GPU names; non-empty selects fleet mode")
+		router      = flag.String("router", "rr", "fleet router: single, rr, least-work, jsq, p2c, prefix")
+		fail        = flag.String("fail", "", "fail-stop injections, dev:time pairs (e.g. 1:200,3:350)")
+		slow        = flag.String("slow", "", "straggler factors, dev:factor pairs (e.g. 1:4)")
 	)
 	flag.Parse()
 
@@ -58,32 +69,51 @@ func main() {
 		probs[i] = ds.Problems[i%len(ds.Problems)]
 	}
 
-	policies := []string{*policy}
-	if *compare != "" {
-		for _, p := range strings.Split(*compare, ",") {
-			policies = append(policies, strings.TrimSpace(p))
+	baseCfg := func(seed uint64) fasttts.Config {
+		return fasttts.Config{
+			GPU:       *gpu,
+			Pair:      fasttts.Pair(*pair),
+			Algorithm: *alg,
+			NumBeams:  *beams,
+			Mode:      fasttts.Mode(*mode),
+			Seed:      seed,
 		}
 	}
 
-	if *closed {
-		fmt.Printf("closed loop: %d requests, %d clients, think %.1fs, %s on %s\n\n",
-			*n, *concurrency, *think, *dataset, *gpu)
-	} else {
-		fmt.Printf("open loop: %d requests, Poisson rate %.2f req/s, %s on %s\n\n",
-			*n, *rate, *dataset, *gpu)
+	if *devices != "" {
+		if *closed {
+			fatal(fmt.Errorf("fleet mode is open-loop only; drop -closed"))
+		}
+		runFleet(fleetArgs{
+			gpus: splitList(*devices), router: *router, compare: splitList(*compare),
+			policy: *policy, maxInFlight: *maxInFlight,
+			fail: *fail, slow: *slow,
+			probs: probs, rate: *rate, seed: *seed, slo: *slo,
+			dataset: *dataset, base: baseCfg, verbose: *verbose, jsonOut: *jsonOut,
+		})
+		return
 	}
-	fmt.Printf("%-10s %7s %7s %9s %9s %9s %9s %9s %8s %6s\n",
-		"policy", "served", "reject", "mean_q(s)", "p50(s)", "p95(s)", "p99(s)", "goodput", "slo_att", "mksp")
+
+	policies := append([]string{*policy}, splitList(*compare)...)
+
+	if !*jsonOut {
+		if *closed {
+			fmt.Printf("closed loop: %d requests, %d clients, think %.1fs, %s on %s\n\n",
+				*n, *concurrency, *think, *dataset, *gpu)
+		} else {
+			fmt.Printf("open loop: %d requests, Poisson rate %.2f req/s, %s on %s\n\n",
+				*n, *rate, *dataset, *gpu)
+		}
+		fmt.Printf("%-10s %7s %7s %9s %9s %9s %9s %9s %8s %6s\n",
+			"policy", "served", "reject", "mean_q(s)", "p50(s)", "p95(s)", "p99(s)", "goodput", "slo_att", "mksp")
+	}
+	report := reportJSON{Mode: "open", Dataset: *dataset, Requests: *n, Rate: *rate, Seed: *seed}
+	if *closed {
+		report.Mode, report.Rate = "closed", 0
+	}
 	for _, pol := range policies {
 		srv, err := fasttts.NewServerWith(fasttts.ServeConfig{
-			Config: fasttts.Config{
-				GPU:       *gpu,
-				Pair:      fasttts.Pair(*pair),
-				Algorithm: *alg,
-				NumBeams:  *beams,
-				Mode:      fasttts.Mode(*mode),
-				Seed:      *seed,
-			},
+			Config:      baseCfg(*seed),
 			Policy:      pol,
 			MaxInFlight: *maxInFlight,
 			SLOLatency:  *slo,
@@ -101,6 +131,10 @@ func main() {
 			fatal(err)
 		}
 		st := srv.Stats(served)
+		if *jsonOut {
+			report.Runs = append(report.Runs, runJSON{Policy: pol, Stats: st})
+			continue
+		}
 		fmt.Printf("%-10s %7d %7d %9.2f %9.2f %9.2f %9.2f %9.2f %7.0f%% %6.0f\n",
 			pol, st.Served, st.Rejected, st.MeanQueueDelay,
 			st.P50Latency, st.P95Latency, st.P99Latency,
@@ -120,6 +154,169 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if *jsonOut {
+		emitJSON(report)
+	}
+}
+
+type fleetArgs struct {
+	gpus        []string
+	router      string
+	compare     []string
+	policy      string
+	maxInFlight int
+	fail, slow  string
+	probs       []*fasttts.Problem
+	rate        float64
+	seed        uint64
+	slo         float64
+	dataset     string
+	base        func(uint64) fasttts.Config
+	verbose     bool
+	jsonOut     bool
+}
+
+func runFleet(a fleetArgs) {
+	fails, err := parseDeviceVals(a.fail, len(a.gpus))
+	if err != nil {
+		fatal(fmt.Errorf("-fail: %w", err))
+	}
+	slows, err := parseDeviceVals(a.slow, len(a.gpus))
+	if err != nil {
+		fatal(fmt.Errorf("-slow: %w", err))
+	}
+	specs := make([]fasttts.DeviceSpec, len(a.gpus))
+	for i, g := range a.gpus {
+		cfg := a.base(a.seed + uint64(i))
+		cfg.GPU = g
+		specs[i] = fasttts.DeviceSpec{
+			Config:      cfg,
+			Policy:      a.policy,
+			MaxInFlight: a.maxInFlight,
+			Slowdown:    slows[i],
+			FailAt:      fails[i],
+		}
+	}
+	reqs := fasttts.PoissonRequests(a.probs, a.rate, a.seed)
+	routers := append([]string{a.router}, a.compare...)
+	clusters := make([]*fasttts.Cluster, len(routers))
+	for i, rt := range routers {
+		cl, err := fasttts.NewCluster(fasttts.ClusterConfig{
+			Devices:    specs,
+			Router:     rt,
+			Seed:       a.seed,
+			SLOLatency: a.slo,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		clusters[i] = cl
+	}
+
+	if !a.jsonOut {
+		fmt.Printf("fleet: %d devices, %d requests, Poisson rate %.2f req/s, %s\n",
+			len(a.gpus), len(a.probs), a.rate, a.dataset)
+		for i, g := range a.gpus {
+			note := ""
+			if slows[i] > 1 {
+				note += fmt.Sprintf("  slowdown %.1fx", slows[i])
+			}
+			if fails[i] > 0 {
+				note += fmt.Sprintf("  fails at t=%.0f", fails[i])
+			}
+			fmt.Printf("  device %d: %s%s\n", i, g, note)
+		}
+		fmt.Printf("\n%-10s %7s %7s %7s %9s %9s %9s %9s %6s %6s %8s %6s\n",
+			"router", "served", "reject", "requeue", "p50(s)", "p95(s)", "p99(s)", "goodput", "imb", "hit%", "slo_att", "mksp")
+	}
+	report := reportJSON{Mode: "fleet", Dataset: a.dataset, Requests: len(a.probs),
+		Rate: a.rate, Seed: a.seed, Devices: a.gpus}
+	for i, rt := range routers {
+		run, err := clusters[i].Run(reqs)
+		if err != nil {
+			fatal(err)
+		}
+		st := run.Stats()
+		if a.jsonOut {
+			report.Runs = append(report.Runs, runJSON{Router: rt, Stats: st})
+			continue
+		}
+		fmt.Printf("%-10s %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %6.2f %5.0f%% %7.0f%% %6.0f\n",
+			rt, st.Served, st.Rejected, st.Requeues,
+			st.P50Latency, st.P95Latency, st.P99Latency,
+			st.Goodput, st.ImbalanceCV, 100*st.PrefixHitRate,
+			100*st.SLOAttainment, st.Makespan)
+		if a.verbose {
+			fmt.Printf("\n%8s %14s %7s %9s %7s %9s %7s\n",
+				"device", "gpu", "served", "busy(s)", "util", "goodput", "failed")
+			for _, d := range st.PerDevice {
+				fmt.Printf("%8d %14s %7d %9.1f %6.0f%% %9.2f %7v\n",
+					d.Device, a.gpus[d.Device], d.Served, d.BusyTime,
+					100*d.Utilization, d.Goodput, d.Failed)
+			}
+			fmt.Println()
+		}
+	}
+	if a.jsonOut {
+		emitJSON(report)
+	}
+}
+
+type runJSON struct {
+	Policy string `json:"policy,omitempty"`
+	Router string `json:"router,omitempty"`
+	Stats  any    `json:"stats"`
+}
+
+type reportJSON struct {
+	Mode     string    `json:"mode"`
+	Dataset  string    `json:"dataset"`
+	Requests int       `json:"requests"`
+	Rate     float64   `json:"rate,omitempty"`
+	Seed     uint64    `json:"seed"`
+	Devices  []string  `json:"devices,omitempty"`
+	Runs     []runJSON `json:"runs"`
+}
+
+func emitJSON(r reportJSON) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		fatal(err)
+	}
+}
+
+// parseDeviceVals parses "dev:value" pairs ("1:200,3:4") into a dense
+// per-device slice (unlisted devices get 0).
+func parseDeviceVals(s string, n int) ([]float64, error) {
+	out := make([]float64, n)
+	for _, part := range splitList(s) {
+		idxs, vals, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("%q is not a dev:value pair", part)
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(idxs))
+		if err != nil || idx < 0 || idx >= n {
+			return nil, fmt.Errorf("device index %q outside fleet of %d", idxs, n)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(vals), 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", vals, err)
+		}
+		out[idx] = v
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated flag, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -55,11 +55,42 @@
 //	served, _ := srv.Run(fasttts.PoissonRequests(probs, 0.5, 11))
 //	fmt.Printf("%+v\n", srv.Stats(served))
 //
+// # Fleet serving
+//
+// Cluster composes N per-device serving engines into a heterogeneous
+// edge fleet (internal/cluster): each DeviceSpec carries its own GPU,
+// model pair, policy, straggler factor, and fail-stop time, and a
+// pluggable router named in ClusterConfig assigns every request to a
+// device at its arrival instant — "single" (pass-through; a 1-device
+// fleet reproduces Server exactly), "rr" (round-robin), "least-work",
+// "jsq" (join-shortest-queue), "p2c" (power-of-two-choices), or
+// "prefix" (prefix-affinity with load fallback, extending §4.2's
+// prefix-aware scheduling from intra-device to inter-device). The
+// failure model is fail-stop at slice granularity: a failing device
+// finishes its in-progress slice, then its unfinished requests are
+// requeued to the survivors with partial work lost; if no device
+// survives, the remainder is reported Rejected. FleetRun.Stats extends
+// the server aggregates with per-device utilization and goodput, the
+// load-imbalance coefficient, the requeue count, and the fleet
+// prompt-prefix KV hit rate. Equal seeds give bit-identical
+// fleet-served streams under every router.
+//
+//	cl, _ := fasttts.NewCluster(fasttts.ClusterConfig{
+//		Devices: []fasttts.DeviceSpec{
+//			{Config: fasttts.Config{GPU: "RTX 4090", NumBeams: 16, Seed: 42}},
+//			{Config: fasttts.Config{GPU: "RTX 3070 Ti", NumBeams: 16, Seed: 43}, FailAt: 200},
+//		},
+//		Router: "prefix", Seed: 9,
+//	})
+//	run, _ := cl.Run(fasttts.PoissonRequests(probs, 0.6, 11))
+//	fmt.Printf("%+v\n", run.Stats())
+//
 // # Development
 //
 // CI (.github/workflows/ci.yml) gates every change on go build, go vet,
-// gofmt, go test -race, and a one-iteration benchmark smoke run; `make
-// build / lint / test / bench` mirror the same gates locally.
+// gofmt, go test -race, a coverage-profile run with a per-function
+// summary, and a one-iteration benchmark smoke run; `make build / lint /
+// test / bench / cover` mirror the same gates locally.
 package fasttts
 
 import (

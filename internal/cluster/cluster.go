@@ -1,0 +1,422 @@
+// Package cluster simulates a heterogeneous edge fleet serving TTS
+// traffic: N per-device serving engines (each its own GPU, model pair,
+// straggler factor, and admission/ordering policy) composed behind a
+// pluggable Router, with fail-stop fault injection and fleet-level
+// metrics.
+//
+// The fleet runs on the same discrete virtual time as the per-device
+// engines. Devices execute concurrently — each core.Loop owns an
+// independent clock — and the fleet advances them in lockstep between
+// global events (request arrivals and device failures). A request is
+// routed once, at its arrival instant, using the routers' view of live
+// device state; when a device fail-stops, its unfinished requests are
+// requeued to the surviving devices (partial work lost), extending the
+// serving engine's determinism guarantee: equal seeds give bit-identical
+// fleet-served streams under every router.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"fasttts/internal/core"
+	"fasttts/internal/metrics"
+	"fasttts/internal/rng"
+	"fasttts/internal/sched"
+	"fasttts/internal/workload"
+)
+
+// Device describes one fleet member.
+type Device struct {
+	// Config is the device's deployment (GPU, model pair, search policy,
+	// memory budget, seed).
+	Config core.Config
+	// Policy is the device's admission/ordering discipline; nil = FCFS.
+	Policy sched.ServePolicy
+	// Slowdown is the straggler factor: wall-clock stretch of every
+	// device slice. Values below 1 (including 0) mean no slowdown.
+	Slowdown float64
+	// FailAt, when positive, fail-stops the device at that fleet time:
+	// it finishes its in-progress slice, then every unfinished request is
+	// requeued to the surviving devices and the device serves nothing
+	// further.
+	FailAt float64
+}
+
+// Config configures a fleet.
+type Config struct {
+	Devices []Device
+	// Router assigns requests to devices; nil = round-robin.
+	Router Router
+	// Seed drives the router's private random stream (power-of-two
+	// choices); device engines draw from their own Config seeds.
+	Seed uint64
+}
+
+// Result is one fleet-served request: the device-level telemetry plus
+// which device produced it and how often failures migrated it.
+type Result struct {
+	core.ServedResult
+	// Device is the fleet index of the serving (or rejecting) device; -1
+	// for requests lost because no device survived to serve them (they
+	// come back Rejected).
+	Device int
+	// Requeues counts how many fail-stops displaced this request before
+	// this outcome.
+	Requeues int
+}
+
+// Outcome is everything a fleet run produced.
+type Outcome struct {
+	// Results holds per-request outcomes in fleet event order: each
+	// device's completions stay in completion order, interleaved at
+	// global event granularity.
+	Results []Result
+	// Devices is the per-device telemetry, indexed by fleet device.
+	Devices []metrics.FleetDevice
+	// Requeues counts failure-induced request migrations.
+	Requeues int
+	// PrefixHits / PrefixMisses count prompt-prefix tokens that were /
+	// were not resident in the serving device's radix cache directory.
+	// Only requests a device actually served are counted — a request shed
+	// by admission control prefills nothing.
+	PrefixHits, PrefixMisses int64
+}
+
+// Stats reduces the outcome to fleet-level aggregates. sloLatency is the
+// wall-latency target in seconds (<= 0: none).
+func (o *Outcome) Stats(sloLatency float64) metrics.FleetStats {
+	samples := make([]metrics.ServeSample, len(o.Results))
+	for i, r := range o.Results {
+		samples[i] = metrics.ServeSample{
+			Arrival: r.Arrival, Start: r.Start, Finish: r.Finish,
+			Tokens: r.UsefulTokens, Rejected: r.Rejected,
+		}
+	}
+	return metrics.SummarizeFleet(metrics.FleetInput{
+		Samples:      samples,
+		Devices:      o.Devices,
+		Requeues:     o.Requeues,
+		PrefixHits:   o.PrefixHits,
+		PrefixMisses: o.PrefixMisses,
+		SLOLatency:   sloLatency,
+	})
+}
+
+// Fleet is a configured fleet simulator. A Fleet is single-run: routers
+// and device engines carry state, so build a fresh Fleet per request
+// stream (the public API layer does this on every call).
+type Fleet struct {
+	cfg  Config
+	srvs []*core.Server
+	used bool
+}
+
+// New validates the configuration and builds the fleet.
+func New(cfg Config) (*Fleet, error) {
+	if len(cfg.Devices) == 0 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one device")
+	}
+	if cfg.Router == nil {
+		cfg.Router = &RoundRobin{}
+	}
+	srvs := make([]*core.Server, len(cfg.Devices))
+	for i, d := range cfg.Devices {
+		srv, err := core.NewServerWithPolicy(d.Config, d.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: device %d: %w", i, err)
+		}
+		srvs[i] = srv
+	}
+	return &Fleet{cfg: cfg, srvs: srvs}, nil
+}
+
+// device is the runtime state of one fleet member.
+type device struct {
+	spec     Device
+	loop     *core.Loop
+	speed    float64
+	alive    bool
+	failedAt float64
+	prefixes map[string]bool // prompt-prefix directory of the radix cache
+	marker   map[string]int  // prefix -> tag that marked it, until confirmed
+	served   int
+	tokens   int64
+}
+
+// prefixAcct is the deferred hit/miss accounting of one routed request:
+// counters move only once the device actually serves it — a request shed
+// by admission control prefills nothing.
+type prefixAcct struct {
+	dev    int
+	key    string
+	tokens int64
+	hit    bool
+}
+
+// pendingReq is one request awaiting routing.
+type pendingReq struct {
+	req      core.Request
+	requeues int
+}
+
+// Run serves the open-loop request stream and returns the fleet outcome.
+// Request Tags identify requests across requeues and must be unique
+// (callers typically tag by stream index).
+func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
+	if f.used {
+		return nil, fmt.Errorf("cluster: Fleet is single-run; build a new Fleet per stream")
+	}
+	f.used = true
+
+	devs := make([]*device, len(f.cfg.Devices))
+	for i, spec := range f.cfg.Devices {
+		slow := spec.Slowdown
+		if slow < 1 {
+			slow = 1
+		}
+		loop := f.srvs[i].NewLoop(nil)
+		loop.SetScale(slow)
+		devs[i] = &device{
+			spec:     spec,
+			loop:     loop,
+			speed:    spec.Config.GPU.MemBW * spec.Config.GPU.MemEff / slow,
+			alive:    true,
+			prefixes: make(map[string]bool),
+			marker:   make(map[string]int),
+		}
+	}
+
+	pending := make([]pendingReq, 0, len(reqs))
+	origArrival := make(map[int]float64) // request tag -> submission time
+	for _, rq := range reqs {
+		pending = insertPending(pending, pendingReq{req: rq})
+		origArrival[rq.Tag] = rq.Arrival
+	}
+
+	out := &Outcome{}
+	routeRand := rng.New(f.cfg.Seed).Child("cluster/router")
+	requeues := make(map[int]int)    // request tag -> displacement count
+	acct := make(map[int]prefixAcct) // request tag -> pending prefix accounting
+
+	// settlePrefix resolves a result's deferred prefix accounting: counts
+	// the hit/miss when the device served the request, refunds the
+	// optimistic directory mark when admission shed it before prefill.
+	settlePrefix := func(sv core.ServedResult, dev int) {
+		a, ok := acct[sv.Tag]
+		if !ok || a.dev != dev {
+			return
+		}
+		delete(acct, sv.Tag)
+		d := devs[dev]
+		switch {
+		case !sv.Rejected && a.hit:
+			out.PrefixHits += a.tokens
+		case !sv.Rejected:
+			out.PrefixMisses += a.tokens
+			if d.marker[a.key] == sv.Tag {
+				delete(d.marker, a.key) // residency confirmed
+			}
+		case !a.hit && d.marker[a.key] == sv.Tag:
+			delete(d.prefixes, a.key) // shed before prefill: refund
+			delete(d.marker, a.key)
+		}
+	}
+
+	// collect steps every alive device's loop to the horizon, gathering
+	// completions in device-index order. A requeued request keeps its
+	// original submission time in the client-facing telemetry: the wait on
+	// its failed device still happened.
+	collect := func(horizon float64) error {
+		for i, d := range devs {
+			if !d.alive {
+				continue
+			}
+			served, err := d.loop.StepTo(horizon)
+			if err != nil {
+				return fmt.Errorf("cluster: device %d: %w", i, err)
+			}
+			for _, sv := range served {
+				settlePrefix(sv, i)
+				if requeues[sv.Tag] > 0 {
+					sv.Arrival = origArrival[sv.Tag]
+					if !sv.Rejected {
+						sv.QueueDelay = sv.Start - sv.Arrival
+						sv.WallLatency = sv.Finish - sv.Arrival
+					}
+				}
+				out.Results = append(out.Results, Result{
+					ServedResult: sv, Device: i, Requeues: requeues[sv.Tag],
+				})
+				if !sv.Rejected {
+					d.served++
+					d.tokens += sv.UsefulTokens
+				}
+			}
+		}
+		return nil
+	}
+
+	needWork := false
+	if wa, ok := f.cfg.Router.(WorkAware); ok {
+		needWork = wa.NeedsOutstandingWork()
+	}
+	views := func() []DeviceView {
+		vs := make([]DeviceView, 0, len(devs))
+		for i, d := range devs {
+			if !d.alive {
+				continue
+			}
+			v := DeviceView{
+				Index:   i,
+				Now:     d.loop.Now(),
+				Pending: d.loop.Pending(),
+				Speed:   d.speed,
+			}
+			if needWork {
+				v.OutstandingWork = d.loop.OutstandingWork()
+			}
+			vs = append(vs, v)
+		}
+		return vs
+	}
+
+	// nextFail returns the earliest unprocessed fail-stop event.
+	nextFail := func() (float64, int, bool) {
+		t, idx := 0.0, -1
+		for i, d := range devs {
+			if d.alive && d.spec.FailAt > 0 && (idx < 0 || d.spec.FailAt < t) {
+				t, idx = d.spec.FailAt, i
+			}
+		}
+		return t, idx, idx >= 0
+	}
+
+	for {
+		ft, fi, haveFail := nextFail()
+		haveArrival := len(pending) > 0
+		if !haveFail && !haveArrival {
+			break
+		}
+
+		// Failures at an instant take effect before arrivals at the same
+		// instant: a request landing exactly at the fail time is routed to
+		// the survivors.
+		if haveFail && (!haveArrival || ft <= pending[0].req.Arrival) {
+			if err := collect(ft); err != nil {
+				return nil, err
+			}
+			d := devs[fi]
+			d.alive = false
+			d.failedAt = ft
+			for _, rq := range d.loop.Fail() {
+				rq.Arrival = ft
+				requeues[rq.Tag]++
+				out.Requeues++
+				pending = insertPending(pending, pendingReq{req: rq, requeues: requeues[rq.Tag]})
+			}
+			continue
+		}
+
+		pr := pending[0]
+		pending = pending[1:]
+		at := pr.req.Arrival
+		if err := collect(at); err != nil {
+			return nil, err
+		}
+		vs := views()
+		if len(vs) == 0 {
+			// Lost capacity: the whole fleet is dead. Shed the request at
+			// this instant, reported against its original submission time.
+			delete(acct, pr.req.Tag)
+			out.Results = append(out.Results, Result{
+				ServedResult: core.ServedResult{
+					Arrival: origArrival[pr.req.Tag], Start: at, Finish: at,
+					Rejected: true, Tag: pr.req.Tag,
+				},
+				Device:   -1,
+				Requeues: pr.requeues,
+			})
+			continue
+		}
+		rv := RequestView{
+			Tag:       pr.req.Tag,
+			Arrival:   at,
+			PrefixKey: prefixKey(pr.req.Problem),
+			Requeued:  pr.requeues > 0,
+		}
+		pick := f.cfg.Router.Route(rv, vs, routeRand)
+		if pick < 0 || pick >= len(vs) {
+			return nil, fmt.Errorf("cluster: router %s picked %d of %d alive devices",
+				f.cfg.Router.Name(), pick, len(vs))
+		}
+		di := vs[pick].Index
+		d := devs[di]
+		// Mark the directory optimistically (concurrent repeats of this
+		// prompt should route as hits) but defer the counters until the
+		// device actually serves the request.
+		resident := d.prefixes[rv.PrefixKey]
+		if !resident {
+			d.prefixes[rv.PrefixKey] = true
+			d.marker[rv.PrefixKey] = pr.req.Tag
+		}
+		acct[pr.req.Tag] = prefixAcct{
+			dev: di, key: rv.PrefixKey,
+			tokens: int64(pr.req.Problem.PromptTokens), hit: resident,
+		}
+		d.loop.Push(pr.req)
+	}
+
+	// No more global events: run every surviving device to completion.
+	if err := collect(core.NoHorizon); err != nil {
+		return nil, err
+	}
+
+	makespan := 0.0
+	for _, r := range out.Results {
+		if !r.Rejected && r.Finish > makespan {
+			makespan = r.Finish
+		}
+	}
+	out.Devices = make([]metrics.FleetDevice, len(devs))
+	for i, d := range devs {
+		life := makespan
+		if !d.alive {
+			if d.failedAt < life {
+				life = d.failedAt
+			}
+			// Fail-stop is slice-granular: a final slice may overrun the
+			// fail time, so the device's effective lifetime stretches to
+			// its last clock tick (keeping Busy ≤ Lifetime).
+			if n := d.loop.Now(); n > life {
+				life = n
+			}
+		}
+		out.Devices[i] = metrics.FleetDevice{
+			Busy:     d.loop.Busy(),
+			Lifetime: life,
+			Served:   d.served,
+			Tokens:   d.tokens,
+			Failed:   !d.alive,
+		}
+	}
+	return out, nil
+}
+
+// prefixKey identifies a request's shared prompt prefix: requests for the
+// same problem share the prompt's radix-cache path.
+func prefixKey(p *workload.Problem) string {
+	return fmt.Sprintf("%s/%d", p.Dataset, p.Index)
+}
+
+// insertPending inserts pr at its arrival-sorted position, after equal
+// arrivals (stable).
+func insertPending(pending []pendingReq, pr pendingReq) []pendingReq {
+	pos := sort.Search(len(pending), func(i int) bool {
+		return pending[i].req.Arrival > pr.req.Arrival
+	})
+	pending = append(pending, pendingReq{})
+	copy(pending[pos+1:], pending[pos:])
+	pending[pos] = pr
+	return pending
+}

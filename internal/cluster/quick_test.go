@@ -1,0 +1,146 @@
+package cluster
+
+import (
+	"flag"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fasttts/internal/core"
+	"fasttts/internal/hw"
+	"fasttts/internal/rng"
+	"fasttts/internal/workload"
+)
+
+// The fleet property tests are randomized. Override the seed from the
+// command line to reproduce a failure:
+//
+//	go test ./internal/cluster -quick.seed=12345
+var quickSeed = flag.Int("quick.seed", int(time.Now().UnixNano())%100000, "seed for fleet property tests")
+
+// qc builds the testing/quick configuration from -quick.seed.
+func qc(t *testing.T, maxCount int) *quick.Config {
+	t.Helper()
+	t.Logf("quick.seed=%d", *quickSeed)
+	return &quick.Config{
+		MaxCount: maxCount,
+		Rand:     rand.New(rand.NewSource(int64(*quickSeed))),
+	}
+}
+
+// fleetCase is one randomized fleet scenario: a heterogeneous device set
+// with optional stragglers and fail-stops, a random request stream, and a
+// random router.
+type fleetCase struct {
+	GPUs      []int     // device GPU picks (index into the device table)
+	Slowdowns []float64 // per-device straggler factors
+	FailAts   []float64 // per-device fail times (0 = never)
+	Probs     []int     // request problem picks
+	Arrivals  []float64 // request arrival times (non-decreasing)
+	Router    int       // index into RouterNames()
+}
+
+func (fleetCase) Generate(r *rand.Rand, _ int) reflect.Value {
+	gpus := []hw.GPU{hw.RTX4090, hw.RTX4070Ti, hw.RTX3070Ti}
+	nd := 1 + r.Intn(3)
+	c := fleetCase{Router: r.Intn(len(RouterNames()))}
+	for i := 0; i < nd; i++ {
+		c.GPUs = append(c.GPUs, r.Intn(len(gpus)))
+		slow := 1.0
+		if r.Intn(3) == 0 {
+			slow = 1 + 2*r.Float64()
+		}
+		c.Slowdowns = append(c.Slowdowns, slow)
+		fail := 0.0
+		if r.Intn(3) == 0 {
+			fail = 1 + 30*r.Float64() // early enough to interrupt work
+		}
+		c.FailAts = append(c.FailAts, fail)
+	}
+	nr := 1 + r.Intn(8)
+	at := 0.0
+	for i := 0; i < nr; i++ {
+		c.Probs = append(c.Probs, r.Intn(6))
+		at += 6 * r.Float64()
+		c.Arrivals = append(c.Arrivals, at)
+	}
+	return reflect.ValueOf(c)
+}
+
+// TestEveryRouterPreservesRequestMultiset is the fleet's conservation
+// law: under random arrivals, stragglers, fail-stops, and requeues, no
+// router loses or duplicates a request — every submitted request comes
+// back exactly once, served or rejected, and its telemetry is sane.
+func TestEveryRouterPreservesRequestMultiset(t *testing.T) {
+	gpus := []hw.GPU{hw.RTX4090, hw.RTX4070Ti, hw.RTX3070Ti}
+	ds := workload.NewDataset(workload.MATH500, rng.New(7))
+	prop := func(c fleetCase) bool {
+		var devices []Device
+		for i := range c.GPUs {
+			devices = append(devices, Device{
+				Config:   devConfig(t, gpus[c.GPUs[i]], 4, uint64(40+i)),
+				Slowdown: c.Slowdowns[i],
+				FailAt:   c.FailAts[i],
+			})
+		}
+		reqs := make([]core.Request, len(c.Probs))
+		for i, pi := range c.Probs {
+			reqs[i] = core.Request{Problem: ds.Problems[pi], Arrival: c.Arrivals[i], Tag: i}
+		}
+		router, err := RouterByName(RouterNames()[c.Router])
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		f, err := New(Config{Devices: devices, Router: router, Seed: 3})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		out, err := f.Run(reqs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(out.Results) != len(reqs) {
+			t.Logf("router %s: %d results for %d requests", router.Name(), len(out.Results), len(reqs))
+			return false
+		}
+		seen := make(map[int]int)
+		for _, r := range out.Results {
+			seen[r.Tag]++
+			switch {
+			case r.Rejected && r.Result != nil:
+				t.Logf("router %s: rejected request %d carries a Result", router.Name(), r.Tag)
+				return false
+			case !r.Rejected && r.Result == nil:
+				t.Logf("router %s: served request %d missing its Result", router.Name(), r.Tag)
+				return false
+			case !r.Rejected && (r.Start < r.Arrival || r.Finish < r.Start):
+				t.Logf("router %s: request %d times out of order: %v %v %v",
+					router.Name(), r.Tag, r.Arrival, r.Start, r.Finish)
+				return false
+			case !r.Rejected && (r.Device < 0 || r.Device >= len(devices)):
+				t.Logf("router %s: request %d served by device %d of %d",
+					router.Name(), r.Tag, r.Device, len(devices))
+				return false
+			case r.Requeues < 0 || (r.Requeues > 0 && out.Requeues == 0):
+				t.Logf("router %s: request %d requeue count %d inconsistent with total %d",
+					router.Name(), r.Tag, r.Requeues, out.Requeues)
+				return false
+			}
+		}
+		for i := range reqs {
+			if seen[i] != 1 {
+				t.Logf("router %s: request %d reported %d times", router.Name(), i, seen[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qc(t, 60)); err != nil {
+		t.Error(err)
+	}
+}

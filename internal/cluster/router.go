@@ -1,0 +1,252 @@
+package cluster
+
+// Pluggable request routing for the heterogeneous edge fleet. A Router
+// assigns each arriving (or failure-requeued) request to one alive
+// device. Routers may keep internal state (round-robin counters, the
+// prefix-affinity directory) but must be deterministic functions of the
+// call sequence and their private random stream — the fleet guarantees
+// bit-identical served streams for equal seeds, and a router that
+// consults wall clocks or map iteration order breaks that.
+
+import (
+	"fmt"
+	"strings"
+
+	"fasttts/internal/rng"
+)
+
+// RequestView is a router's read-only view of one arriving request.
+type RequestView struct {
+	// Tag is the request's stream identity (stable across requeues).
+	Tag int
+	// Arrival is the fleet time of this routing decision.
+	Arrival float64
+	// PrefixKey identifies the request's shared prompt prefix: requests
+	// with equal keys re-use each other's prompt KV on the same device.
+	PrefixKey string
+	// Requeued marks failure-induced re-routing (the original device
+	// fail-stopped with this request unfinished).
+	Requeued bool
+}
+
+// DeviceView is a router's read-only view of one alive device.
+type DeviceView struct {
+	// Index is the device's fleet index (stable across failures of other
+	// devices); the Route result is a position in the alive slice, not an
+	// Index.
+	Index int
+	// Now is the device's virtual clock.
+	Now float64
+	// Pending is the device's outstanding population: admitted unfinished
+	// requests plus queued arrivals.
+	Pending int
+	// OutstandingWork is the estimated remaining service demand in token
+	// units (see sched.EstimateDemand).
+	OutstandingWork float64
+	// Speed is the device's relative service speed: decode-bandwidth
+	// share scaled down by the straggler factor. Units are arbitrary but
+	// consistent across devices.
+	Speed float64
+}
+
+// Router assigns requests to fleet devices.
+type Router interface {
+	// Name identifies the router ("rr", "p2c", ...).
+	Name() string
+	// Route returns the position in devices (non-empty, alive fleet
+	// members sorted by Index) of the device that receives the request.
+	// r is the router's private deterministic random stream.
+	Route(rq RequestView, devices []DeviceView, r *rng.Stream) int
+}
+
+// Single routes every request to the first alive device: the
+// pass-through router. A 1-device fleet under Single reproduces the
+// single-Server results of the serving engine exactly.
+type Single struct{}
+
+func (Single) Name() string                                     { return "single" }
+func (Single) Route(RequestView, []DeviceView, *rng.Stream) int { return 0 }
+
+// RoundRobin cycles through the alive devices in index order,
+// oblivious to load and heterogeneity — the fleet baseline.
+type RoundRobin struct{ n int }
+
+func (*RoundRobin) Name() string { return "rr" }
+func (rr *RoundRobin) Route(_ RequestView, devices []DeviceView, _ *rng.Stream) int {
+	i := rr.n % len(devices)
+	rr.n++
+	return i
+}
+
+// WorkAware marks routers whose decisions read
+// DeviceView.OutstandingWork; the fleet computes that load signal —
+// O(in-flight + queued) remaining-work estimations per device — only
+// for routers that declare the need.
+type WorkAware interface {
+	NeedsOutstandingWork() bool
+}
+
+// LeastWork routes to the device with the smallest expected drain time:
+// estimated outstanding work divided by device speed (ties by pending
+// count, then index — the shared better() ordering). It is the
+// fleet-level analogue of the SJF serve policy — both consume
+// sched.EstimateDemand — and the strongest signal for heterogeneous
+// fleets, at the cost of full fleet-state inspection per request.
+type LeastWork struct{}
+
+func (LeastWork) Name() string               { return "least-work" }
+func (LeastWork) NeedsOutstandingWork() bool { return true }
+func (LeastWork) Route(_ RequestView, devices []DeviceView, _ *rng.Stream) int {
+	best := 0
+	for i := 1; i < len(devices); i++ {
+		if better(devices[i], devices[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+func drainTime(d DeviceView) float64 {
+	if d.Speed <= 0 {
+		return d.OutstandingWork
+	}
+	return d.OutstandingWork / d.Speed
+}
+
+// JSQ joins the shortest queue: the device with the fewest outstanding
+// requests, ties to the lower index.
+type JSQ struct{}
+
+func (JSQ) Name() string { return "jsq" }
+func (JSQ) Route(_ RequestView, devices []DeviceView, _ *rng.Stream) int {
+	best := 0
+	for i := 1; i < len(devices); i++ {
+		if devices[i].Pending < devices[best].Pending {
+			best = i
+		}
+	}
+	return best
+}
+
+// PowerOfTwo samples two distinct candidate devices uniformly and joins
+// the one with the smaller expected drain time — the classic
+// power-of-two-choices load balancer, which gets most of JSQ's balance
+// while inspecting only two devices per request.
+type PowerOfTwo struct{}
+
+func (PowerOfTwo) Name() string               { return "p2c" }
+func (PowerOfTwo) NeedsOutstandingWork() bool { return true }
+func (PowerOfTwo) Route(_ RequestView, devices []DeviceView, r *rng.Stream) int {
+	if len(devices) == 1 {
+		return 0
+	}
+	i := r.IntN(len(devices))
+	j := r.IntN(len(devices) - 1)
+	if j >= i {
+		j++
+	}
+	if better(devices[j], devices[i]) {
+		return j
+	}
+	return i
+}
+
+// better orders devices by expected drain time, then pending count, then
+// index — the shared load comparison of the state-aware routers.
+func better(a, b DeviceView) bool {
+	da, db := drainTime(a), drainTime(b)
+	if da != db {
+		return da < db
+	}
+	if a.Pending != b.Pending {
+		return a.Pending < b.Pending
+	}
+	return a.Index < b.Index
+}
+
+// PrefixAffinity extends the paper's §4.2 prefix-aware scheduling from
+// intra-device to inter-device: requests sharing a prompt prefix are
+// routed to the device whose radix KV cache already holds it, so the
+// prompt prefill is served from cache instead of being recomputed. When
+// the affine device's backlog exceeds the fleet minimum by more than
+// LoadSlack requests (or the device failed), the router falls back to
+// the load-based Fallback and re-homes the prefix there — cache locality
+// must not create hotspots.
+type PrefixAffinity struct {
+	// Fallback routes prefix misses and overloaded hits; nil means
+	// LeastWork.
+	Fallback Router
+	// LoadSlack is how many requests beyond the least-loaded device's
+	// backlog the affine device may hold before affinity is abandoned;
+	// 0 means 4.
+	LoadSlack int
+	home      map[string]int // prefix key -> device Index
+}
+
+func (p *PrefixAffinity) Name() string { return "prefix" }
+
+func (p *PrefixAffinity) NeedsOutstandingWork() bool {
+	if p.Fallback == nil {
+		return true // the default fallback is LeastWork
+	}
+	wa, ok := p.Fallback.(WorkAware)
+	return ok && wa.NeedsOutstandingWork()
+}
+
+func (p *PrefixAffinity) Route(rq RequestView, devices []DeviceView, r *rng.Stream) int {
+	if p.home == nil {
+		p.home = make(map[string]int)
+	}
+	fallback := p.Fallback
+	if fallback == nil {
+		fallback = LeastWork{}
+	}
+	slack := p.LoadSlack
+	if slack == 0 {
+		slack = 4
+	}
+	minPending := devices[0].Pending
+	for _, d := range devices[1:] {
+		if d.Pending < minPending {
+			minPending = d.Pending
+		}
+	}
+	if home, ok := p.home[rq.PrefixKey]; ok {
+		for i, d := range devices {
+			if d.Index == home {
+				if d.Pending <= minPending+slack {
+					return i
+				}
+				break // alive but overloaded: re-home
+			}
+		}
+	}
+	i := fallback.Route(rq, devices, r)
+	p.home[rq.PrefixKey] = devices[i].Index
+	return i
+}
+
+// RouterByName resolves a fresh router from its CLI/config name:
+// "single", "rr", "least-work", "jsq", "p2c", or "prefix".
+func RouterByName(name string) (Router, error) {
+	switch strings.ToLower(name) {
+	case "single", "passthrough":
+		return Single{}, nil
+	case "", "rr", "round-robin":
+		return &RoundRobin{}, nil
+	case "least-work", "lw":
+		return LeastWork{}, nil
+	case "jsq", "shortest-queue":
+		return JSQ{}, nil
+	case "p2c", "power-of-two":
+		return PowerOfTwo{}, nil
+	case "prefix", "prefix-affinity":
+		return &PrefixAffinity{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown router %q (want single, rr, least-work, jsq, p2c, or prefix)", name)
+}
+
+// RouterNames lists the built-in router names in display order.
+func RouterNames() []string {
+	return []string{"single", "rr", "least-work", "jsq", "p2c", "prefix"}
+}

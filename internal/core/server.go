@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"fasttts/internal/metrics"
@@ -20,6 +19,10 @@ type Request struct {
 	// Deadline is the absolute SLO deadline on the server clock used by
 	// the deadline policy; 0 means none.
 	Deadline float64
+	// Tag is an opaque client correlation tag carried through unchanged to
+	// the ServedResult. The cluster layer uses it to track a request's
+	// identity across failure-induced requeues.
+	Tag int
 }
 
 // ServedResult augments a solve result with queueing telemetry. Result is
@@ -43,6 +46,8 @@ type ServedResult struct {
 	UsefulTokens int64
 	// Rejected marks requests shed by admission control.
 	Rejected bool
+	// Tag echoes the request's correlation tag.
+	Tag int
 }
 
 // Server is the multi-tenant serving engine. It generalizes the paper's
@@ -96,9 +101,7 @@ func (s *Server) Policy() sched.ServePolicy { return s.pol }
 // Run serves an open-loop request stream and returns per-request results
 // in completion order (rejected requests appear at their rejection time).
 func (s *Server) Run(reqs []Request) ([]ServedResult, error) {
-	queue := append([]Request(nil), reqs...)
-	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
-	return s.serve(queue, nil)
+	return s.NewLoop(reqs).StepTo(NoHorizon)
 }
 
 // RunClosedLoop serves the problems under a fixed-concurrency closed
@@ -112,146 +115,287 @@ func (s *Server) RunClosedLoop(probs []*workload.Problem, cl workload.ClosedLoop
 	n := min(conc, len(probs))
 	queue := make([]Request, n)
 	for i := 0; i < n; i++ {
-		queue[i] = Request{Problem: probs[i]}
+		queue[i] = Request{Problem: probs[i], Tag: i}
 	}
 	next := n
 	feeder := func(finish float64) (Request, bool) {
 		if next >= len(probs) {
 			return Request{}, false
 		}
-		rq := Request{Problem: probs[next], Arrival: finish + cl.Think}
+		rq := Request{Problem: probs[next], Arrival: finish + cl.Think, Tag: next}
 		next++
 		return rq, true
 	}
-	return s.serve(queue, feeder)
+	l := &Loop{s: s, queue: queue, feeder: feeder, scale: 1}
+	return l.StepTo(NoHorizon)
 }
 
-// serve is the event loop. queue must be sorted by arrival; feeder, when
-// non-nil, is asked for one follow-up request after every completion or
-// rejection — the closed-loop client issues its next request either way,
-// so admission control cannot silently retire a client slot.
-func (s *Server) serve(queue []Request, feeder func(finish float64) (Request, bool)) ([]ServedResult, error) {
-	var (
-		out      []ServedResult
-		sessions []*session
-		now      float64
-		next     int // next queue index to admit
-		inFlight int
-		nextID   int
-	)
+// NoHorizon makes Loop.StepTo run until the loop is out of work.
+const NoHorizon = -1.0
+
+// Loop is one steppable instance of the serving event loop: the device's
+// virtual clock, its arrival queue, and its in-flight sessions. Server's
+// Run and RunClosedLoop drive a Loop to completion in one call; the
+// cluster fleet simulator drives N loops event-by-event with bounded
+// horizons, pushing arrivals as its routers assign them and withdrawing
+// work on fail-stop.
+type Loop struct {
+	s        *Server
+	queue    []Request
+	feeder   func(finish float64) (Request, bool)
+	sessions []*session
+	now      float64
+	next     int // next queue index to admit
+	inFlight int
+	nextID   int
+	scale    float64 // wall seconds per nominal device second (straggler factor)
+	busy     float64 // wall seconds spent executing slices (lost work included)
+	failed   bool
+}
+
+// NewLoop returns a steppable loop over the given open-loop requests
+// (sorted by arrival internally). More arrivals may be added with Push.
+func (s *Server) NewLoop(reqs []Request) *Loop {
+	queue := append([]Request(nil), reqs...)
+	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
+	return &Loop{s: s, queue: queue, scale: 1}
+}
+
+// SetScale sets the loop's straggler factor: every device slice consumes
+// scale× its nominal duration of wall-clock time (thermal throttling,
+// background load). Factors below 1 are clamped to 1. Call before the
+// first StepTo; the embedded Result.Latency remains nominal service time.
+func (l *Loop) SetScale(f float64) {
+	if f < 1 {
+		f = 1
+	}
+	l.scale = f
+}
+
+// Push inserts one future arrival into the loop's queue. An arrival not
+// later than the loop's clock is admitted on the next StepTo.
+func (l *Loop) Push(rq Request) {
+	l.queue = insertByArrival(l.queue, l.next, rq)
+}
+
+// Now returns the loop's virtual clock. It advances only while slices
+// execute or the clock jumps to a queued arrival.
+func (l *Loop) Now() float64 { return l.now }
+
+// Busy returns the wall-clock time the device has spent executing slices,
+// including work later lost to fail-stop.
+func (l *Loop) Busy() float64 { return l.busy }
+
+// InFlight returns the number of admitted, unfinished requests.
+func (l *Loop) InFlight() int { return l.inFlight }
+
+// Queued returns the number of queued, not-yet-admitted arrivals.
+func (l *Loop) Queued() int { return len(l.queue) - l.next }
+
+// Pending returns the device's total outstanding population: admitted
+// unfinished requests plus queued arrivals (join-shortest-queue's load
+// signal).
+func (l *Loop) Pending() int { return l.inFlight + l.Queued() }
+
+// OutstandingWork returns the estimated remaining service demand of the
+// device in token units: the remaining-work estimates of in-flight
+// sessions plus the full demand estimate of every queued arrival — the
+// least-outstanding-work router's load signal.
+func (l *Loop) OutstandingWork() float64 {
+	var w float64
+	for _, c := range l.sessions {
+		if !c.done {
+			w += l.s.viewOf(c).RemainingWork
+		}
+	}
+	for _, rq := range l.queue[l.next:] {
+		w += l.s.estimateWork(rq.Problem)
+	}
+	return w
+}
+
+// Failed reports whether Fail has been called.
+func (l *Loop) Failed() bool { return l.failed }
+
+// Idle reports whether the loop has no runnable session and no queued
+// arrival: StepTo would return immediately.
+func (l *Loop) Idle() bool {
+	return l.failed || (l.inFlight == 0 && l.next >= len(l.queue))
+}
+
+// Fail marks the device fail-stopped and withdraws every unfinished
+// request: admitted in-flight sessions (their partial work is lost) in
+// admission order, then queued arrivals in arrival order. The caller
+// requeues them elsewhere; the loop executes nothing afterwards. Failure
+// takes effect at slice granularity — a slice in progress when the fleet
+// declared the failure has already completed (results produced by earlier
+// StepTo calls stand).
+func (l *Loop) Fail() []Request {
+	l.failed = true
+	var out []Request
+	for _, c := range l.sessions {
+		if !c.done {
+			c.done = true
+			l.inFlight--
+			out = append(out, c.req)
+		}
+	}
+	out = append(out, l.queue[l.next:]...)
+	l.queue = l.queue[:l.next]
+	return out
+}
+
+// StepTo advances the loop until its clock reaches the horizon or it runs
+// out of work, returning the results produced (completions in completion
+// order, rejections at admission time). Horizon NoHorizon (or any
+// negative value) means run to completion. Slices are atomic: the slice
+// in progress when the clock crosses the horizon finishes, so the clock
+// may end slightly past it. The horizon also acts as a pending-arrival
+// bound for §4.1.2 speculation preemption: the fleet simulator steps
+// device loops to the next global event, and a slice about to cross that
+// event boundary stops speculating — exactly as a single device stops
+// speculating as its next arrival lands mid-slice.
+func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
+	var out []ServedResult
 	feed := func(at float64) {
-		if feeder == nil {
+		if l.feeder == nil {
 			return
 		}
-		if rq, ok := feeder(at); ok {
-			queue = insertByArrival(queue, next, rq)
+		if rq, ok := l.feeder(at); ok {
+			l.queue = insertByArrival(l.queue, l.next, rq)
 		}
 	}
-	runnable := func() []*session {
-		live := make([]*session, 0, len(sessions))
-		for _, c := range sessions {
-			if !c.done {
-				live = append(live, c)
-			}
-		}
-		return live
-	}
-	for {
+	for !l.failed {
 		// Admit everything that has arrived by now.
-		for next < len(queue) && queue[next].Arrival <= now {
-			rq := queue[next]
-			next++
-			c := &session{req: rq, id: nextID, est: s.estimateWork(rq.Problem)}
-			nextID++
-			if !s.pol.Admit(s.viewOf(c), now, inFlight) {
+		for l.next < len(l.queue) && l.queue[l.next].Arrival <= l.now {
+			rq := l.queue[l.next]
+			l.next++
+			c := &session{req: rq, id: l.nextID, est: l.s.estimateWork(rq.Problem)}
+			l.nextID++
+			if !l.s.pol.Admit(l.s.viewOf(c), l.now, l.inFlight) {
 				out = append(out, ServedResult{
 					Arrival: rq.Arrival, Start: rq.Arrival, Finish: rq.Arrival,
-					Rejected: true,
+					Rejected: true, Tag: rq.Tag,
 				})
 				feed(rq.Arrival)
 				continue
 			}
-			sessions = append(sessions, c)
-			inFlight++
+			l.sessions = append(l.sessions, c)
+			l.inFlight++
 		}
-		live := runnable()
+		live := l.runnable()
 		if len(live) == 0 {
-			if next < len(queue) {
+			if l.next < len(l.queue) {
+				na := l.queue[l.next].Arrival
+				if horizon >= 0 && na > horizon {
+					return out, nil // next work lies beyond the horizon
+				}
 				// Device idle: jump the virtual clock to the next arrival.
-				now = queue[next].Arrival
+				l.now = na
 				continue
 			}
-			break
+			return out, nil
+		}
+		if horizon >= 0 && l.now >= horizon {
+			return out, nil
 		}
 
 		// Policy picks the slice owner among the runnable requests.
 		cands := make([]sched.ServeRequest, len(live))
 		for i, c := range live {
-			cands[i] = s.viewOf(c)
+			cands[i] = l.s.viewOf(c)
 		}
-		pick := s.pol.Pick(cands, now)
+		pick := l.s.pol.Pick(cands, l.now)
 		if pick < 0 || pick >= len(live) {
-			return nil, fmt.Errorf("core: policy %s picked index %d of %d runnable requests",
-				s.pol.Name(), pick, len(live))
+			return out, fmt.Errorf("core: policy %s picked index %d of %d runnable requests",
+				l.s.pol.Name(), pick, len(live))
 		}
 		c := live[pick]
 		if !c.started {
-			sv, err := newSolver(s.cfg, c.req.Problem, nil)
+			sv, err := newSolver(l.s.cfg, c.req.Problem, nil)
 			if err != nil {
-				return nil, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
+				return out, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
 			}
 			c.solver = sv
 			c.started = true
-			c.start = now
+			c.start = l.now
 		}
 
 		// Phase 2 precondition (§4.1.2): speculation only while the waiting
 		// queue is empty. In multi-tenant terms the queue is non-empty when
 		// another request is runnable, or when the next unadmitted arrival
-		// lands mid-slice.
+		// (or the fleet's next event boundary) lands mid-slice.
 		othersWaiting := len(live) > 1
-		nextArrival := -1.0
-		if next < len(queue) {
-			nextArrival = queue[next].Arrival
+		pending := -1.0
+		if l.next < len(l.queue) {
+			pending = l.queue[l.next].Arrival
 		}
-		sliceStart, localStart := now, c.solver.clk.Now()
+		if horizon >= 0 && (pending < 0 || horizon < pending) {
+			pending = horizon
+		}
+		sliceStart, localStart := l.now, c.solver.clk.Now()
+		scale := l.scale
 		c.solver.preempt = func(local float64) bool {
 			if othersWaiting {
 				return true
 			}
-			return nextArrival >= 0 && sliceStart+(local-localStart) >= nextArrival
+			return pending >= 0 && sliceStart+(local-localStart)*scale >= pending
 		}
 		if !c.solver.begun {
 			c.solver.begin() // prompt prefill charges into the first slice
 		}
 
 		if err := c.solver.stepOnce(); err != nil {
-			return nil, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
+			return out, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
 		}
-		delta := c.solver.clk.Now() - localStart
-		now += delta
+		delta := (c.solver.clk.Now() - localStart) * scale
+		l.now += delta
+		l.busy += delta
 		c.work += delta
 		c.slices++
 
 		if c.solver.done() {
 			res, err := c.solver.result()
 			if err != nil {
-				return nil, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
+				return out, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
 			}
 			c.done = true
-			inFlight--
+			l.inFlight--
+			l.dropSession(c)
 			out = append(out, ServedResult{
 				Result:  res,
-				Arrival: c.req.Arrival, Start: c.start, Finish: now,
+				Arrival: c.req.Arrival, Start: c.start, Finish: l.now,
 				QueueDelay:   c.start - c.req.Arrival,
-				WallLatency:  now - c.req.Arrival,
+				WallLatency:  l.now - c.req.Arrival,
 				Slices:       c.slices,
 				UsefulTokens: res.TokensDecoded - res.SpecTokens + res.SpecRetained,
+				Tag:          c.req.Tag,
 			})
-			feed(now)
+			feed(l.now)
 		}
 	}
 	return out, nil
+}
+
+func (l *Loop) runnable() []*session {
+	live := make([]*session, 0, len(l.sessions))
+	for _, c := range l.sessions {
+		if !c.done {
+			live = append(live, c)
+		}
+	}
+	return live
+}
+
+// dropSession prunes a completed session so the runnable and
+// outstanding-work scans stay proportional to the live population.
+func (l *Loop) dropSession(c *session) {
+	for i, s := range l.sessions {
+		if s == c {
+			l.sessions = append(l.sessions[:i], l.sessions[i+1:]...)
+			return
+		}
+	}
 }
 
 // insertByArrival inserts rq into the unadmitted tail queue[from:] at its
@@ -291,21 +435,9 @@ func (s *Server) viewOf(c *session) sched.ServeRequest {
 }
 
 // estimateWork predicts a request's total service demand in token units
-// for shortest-job ordering: prompt prefill plus the expected decode work
-// of the full search. Harder problems hold quality down, which delays the
-// termination logistic, so expected depth rises with difficulty.
+// for shortest-job ordering (see sched.EstimateDemand).
 func (s *Server) estimateWork(p *workload.Problem) float64 {
-	spec := p.Spec()
-	meanStep := math.Exp(spec.StepLogMu + spec.StepLogSigma*spec.StepLogSigma/2)
-	steps := spec.TypicalSteps + 3*(p.Difficulty-0.5)
-	if steps < 1 {
-		steps = 1
-	}
-	if m := float64(spec.MaxSteps); steps > m {
-		steps = m
-	}
-	width := float64(s.cfg.Policy.Width())
-	return float64(p.PromptTokens) + width*steps*meanStep
+	return sched.EstimateDemand(p, s.cfg.Policy.Width())
 }
 
 // Stats reduces served results to the server-level aggregates of package

@@ -1,0 +1,115 @@
+package metrics
+
+// Fleet-level aggregates for the heterogeneous edge-fleet simulator: the
+// server-level latency aggregates of serve.go computed over the whole
+// fleet stream, plus per-device utilization and goodput, the
+// load-imbalance coefficient, failure-requeue and prefix-reuse counters.
+
+import "math"
+
+// FleetDevice is the raw telemetry of one fleet member over a run.
+type FleetDevice struct {
+	// Busy is the wall-clock time the device spent executing slices
+	// (including partial work lost to fail-stop).
+	Busy float64
+	// Lifetime is how long the device was part of the fleet: its fail-stop
+	// time (stretched through a final overrunning slice, so Busy never
+	// exceeds it) if it failed, otherwise the fleet makespan.
+	Lifetime float64
+	// Served counts requests the device completed; Tokens sums their
+	// useful generated output.
+	Served int
+	Tokens int64
+	// Failed marks devices that fail-stopped during the run.
+	Failed bool
+}
+
+// FleetDeviceStats augments a device's telemetry with derived rates.
+type FleetDeviceStats struct {
+	FleetDevice
+	// Utilization is Busy / Lifetime: the fraction of the device's fleet
+	// membership spent computing.
+	Utilization float64
+	// Goodput is useful tokens per second of lifetime.
+	Goodput float64
+}
+
+// FleetStats aggregates a fleet-served request stream.
+type FleetStats struct {
+	// ServeStats holds the fleet-level latency/goodput aggregates over the
+	// merged stream (p50/p95/p99 wall latency, queue delay, SLO
+	// attainment, fleet goodput over the fleet makespan).
+	ServeStats
+	// Devices holds per-device utilization and goodput, indexed by device.
+	Devices []FleetDeviceStats
+	// ImbalanceCV is the load-imbalance coefficient: the coefficient of
+	// variation (population stddev / mean) of per-device busy time. 0
+	// means perfectly balanced work; it is 0 when no device did any work.
+	ImbalanceCV float64
+	// Requeues counts failure-induced request migrations.
+	Requeues int
+	// PrefixHitRate is the fleet prompt-prefix cache hit rate in tokens:
+	// hits / (hits + misses), 0 when there was no prefix traffic.
+	PrefixHitRate float64
+	// FailedDevices counts devices that fail-stopped during the run.
+	FailedDevices int
+}
+
+// FleetInput bundles the inputs of SummarizeFleet.
+type FleetInput struct {
+	// Samples is the merged fleet stream.
+	Samples []ServeSample
+	// Devices is the per-device telemetry, indexed by device.
+	Devices []FleetDevice
+	// Requeues counts failure-induced request migrations.
+	Requeues int
+	// PrefixHits / PrefixMisses count prompt-prefix tokens found / not
+	// found in the serving device's radix cache directory.
+	PrefixHits, PrefixMisses int64
+	// SLOLatency is the wall-latency target in seconds; <= 0 disables SLO
+	// accounting.
+	SLOLatency float64
+}
+
+// SummarizeFleet reduces a fleet-served stream plus per-device telemetry
+// to fleet-level aggregates.
+func SummarizeFleet(in FleetInput) FleetStats {
+	st := FleetStats{
+		ServeStats: SummarizeServe(in.Samples, in.SLOLatency),
+		Requeues:   in.Requeues,
+	}
+	busy := make([]float64, 0, len(in.Devices))
+	for _, d := range in.Devices {
+		ds := FleetDeviceStats{FleetDevice: d}
+		if d.Lifetime > 0 {
+			ds.Utilization = d.Busy / d.Lifetime
+			ds.Goodput = float64(d.Tokens) / d.Lifetime
+		}
+		if d.Failed {
+			st.FailedDevices++
+		}
+		st.Devices = append(st.Devices, ds)
+		busy = append(busy, d.Busy)
+	}
+	st.ImbalanceCV = CoefficientOfVariation(busy)
+	if total := in.PrefixHits + in.PrefixMisses; total > 0 {
+		st.PrefixHitRate = float64(in.PrefixHits) / float64(total)
+	}
+	return st
+}
+
+// CoefficientOfVariation returns the population standard deviation of xs
+// divided by its mean — the fleet's load-imbalance coefficient when xs is
+// per-device busy time. It is 0 for empty input or a zero mean.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 || len(xs) == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(xs))) / m
+}

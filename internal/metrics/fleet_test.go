@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoefficientOfVariation(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"zero mean", []float64{0, 0}, 0},
+		{"uniform", []float64{3, 3, 3, 3}, 0},
+		// mean 2, population variance ((1)^2+(1)^2)/2 = 1 → CV 0.5.
+		{"two-point", []float64{1, 3}, 0.5},
+	}
+	for _, c := range cases {
+		if got := CoefficientOfVariation(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: CV = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSummarizeFleet(t *testing.T) {
+	in := FleetInput{
+		Samples: []ServeSample{
+			{Arrival: 0, Start: 0, Finish: 10, Tokens: 100},
+			{Arrival: 1, Start: 2, Finish: 20, Tokens: 300},
+			{Arrival: 2, Rejected: true},
+		},
+		Devices: []FleetDevice{
+			{Busy: 9, Lifetime: 20, Served: 1, Tokens: 100},
+			{Busy: 3, Lifetime: 5, Served: 1, Tokens: 300, Failed: true},
+		},
+		Requeues:     2,
+		PrefixHits:   60,
+		PrefixMisses: 40,
+		SLOLatency:   15,
+	}
+	st := SummarizeFleet(in)
+
+	if st.Served != 2 || st.Rejected != 1 {
+		t.Errorf("served/rejected = %d/%d, want 2/1", st.Served, st.Rejected)
+	}
+	if st.Makespan != 20 {
+		t.Errorf("makespan %v, want 20", st.Makespan)
+	}
+	// One of three submitted requests met the 15 s target.
+	if want := 1.0 / 3; math.Abs(st.SLOAttainment-want) > 1e-12 {
+		t.Errorf("SLO attainment %v, want %v", st.SLOAttainment, want)
+	}
+	if len(st.Devices) != 2 {
+		t.Fatalf("%d device stats, want 2", len(st.Devices))
+	}
+	if got, want := st.Devices[0].Utilization, 0.45; math.Abs(got-want) > 1e-12 {
+		t.Errorf("device 0 utilization %v, want %v", got, want)
+	}
+	if got, want := st.Devices[1].Goodput, 60.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("device 1 goodput %v, want %v", got, want)
+	}
+	if st.FailedDevices != 1 {
+		t.Errorf("failed devices %d, want 1", st.FailedDevices)
+	}
+	if st.Requeues != 2 {
+		t.Errorf("requeues %d, want 2", st.Requeues)
+	}
+	if want := 0.6; math.Abs(st.PrefixHitRate-want) > 1e-12 {
+		t.Errorf("prefix hit rate %v, want %v", st.PrefixHitRate, want)
+	}
+	// Busy times 9 and 3: mean 6, population stddev 3 → CV 0.5.
+	if want := 0.5; math.Abs(st.ImbalanceCV-want) > 1e-12 {
+		t.Errorf("imbalance CV %v, want %v", st.ImbalanceCV, want)
+	}
+}
+
+func TestSummarizeFleetNoPrefixTraffic(t *testing.T) {
+	st := SummarizeFleet(FleetInput{Devices: []FleetDevice{{Busy: 1, Lifetime: 2}}})
+	if st.PrefixHitRate != 0 {
+		t.Errorf("hit rate %v with no prefix traffic, want 0", st.PrefixHitRate)
+	}
+	if st.ImbalanceCV != 0 {
+		t.Errorf("imbalance CV %v for one device, want 0", st.ImbalanceCV)
+	}
+}

@@ -7,12 +7,20 @@ package workload
 // number of requests outstanding, issuing the next one only after the
 // previous completes.
 
-import "fasttts/internal/rng"
+import (
+	"fmt"
+
+	"fasttts/internal/rng"
+)
 
 // PoissonArrivals returns n non-decreasing arrival times of an open-loop
 // Poisson process with the given mean rate in requests per second.
 // Sampling is driven entirely by r, so equal streams give equal traces.
+// It panics if rate is not positive (a zero-rate open loop never submits).
 func PoissonArrivals(n int, rate float64, r *rng.Stream) []float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("workload: Poisson arrival rate must be positive, got %v", rate))
+	}
 	out := make([]float64, n)
 	t := 0.0
 	for i := range out {

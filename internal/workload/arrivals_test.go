@@ -35,6 +35,48 @@ func TestPoissonArrivalsDeterministic(t *testing.T) {
 			t.Fatalf("arrival %d differs across equal streams: %v vs %v", i, a[i], b[i])
 		}
 	}
+	// Distinct seeds must give distinct traces (the trace really is
+	// seed-driven, not hard-coded).
+	c := PoissonArrivals(64, 1.5, rng.New(8).Child("arr"))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical Poisson traces")
+	}
+}
+
+func TestPoissonArrivalsSingleRequest(t *testing.T) {
+	times := PoissonArrivals(1, 0.25, rng.New(7).Child("arr"))
+	if len(times) != 1 {
+		t.Fatalf("got %d arrivals, want 1", len(times))
+	}
+	if times[0] <= 0 || math.IsInf(times[0], 0) || math.IsNaN(times[0]) {
+		t.Errorf("single arrival at %v, want a positive finite time", times[0])
+	}
+}
+
+func TestPoissonArrivalsEmpty(t *testing.T) {
+	if times := PoissonArrivals(0, 1, rng.New(7).Child("arr")); len(times) != 0 {
+		t.Errorf("got %d arrivals for n=0, want none", len(times))
+	}
+}
+
+func TestPoissonArrivalsZeroRatePanics(t *testing.T) {
+	for _, rate := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %v did not panic", rate)
+				}
+			}()
+			PoissonArrivals(4, rate, rng.New(7).Child("arr"))
+		}()
+	}
 }
 
 func TestUniformArrivals(t *testing.T) {
@@ -52,6 +94,52 @@ func TestBurstArrivals(t *testing.T) {
 	for i := range times {
 		if times[i] != want[i] {
 			t.Errorf("arrival %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestBurstArrivalsEdgeCases(t *testing.T) {
+	// A non-positive burst size is clamped to 1: evenly spaced arrivals.
+	for _, burst := range []int{0, -3} {
+		times := BurstArrivals(3, burst, 5)
+		for i, ts := range times {
+			if want := 5 * float64(i); ts != want {
+				t.Errorf("burst %d: arrival %d at %v, want %v", burst, i, ts, want)
+			}
+		}
+	}
+	// A burst wider than the stream releases everything at t=0.
+	for i, ts := range BurstArrivals(4, 10, 7) {
+		if ts != 0 {
+			t.Errorf("arrival %d at %v, want 0 for burst > n", i, ts)
+		}
+	}
+	// A single request arrives at t=0 regardless of burst geometry.
+	if times := BurstArrivals(1, 3, 10); len(times) != 1 || times[0] != 0 {
+		t.Errorf("single-request burst arrivals %v, want [0]", times)
+	}
+	// Zero gap collapses all bursts onto t=0.
+	for i, ts := range BurstArrivals(6, 2, 0) {
+		if ts != 0 {
+			t.Errorf("arrival %d at %v, want 0 with zero gap", i, ts)
+		}
+	}
+	if times := BurstArrivals(0, 2, 1); len(times) != 0 {
+		t.Errorf("got %d arrivals for n=0, want none", len(times))
+	}
+}
+
+func TestUniformArrivalsEdgeCases(t *testing.T) {
+	if times := UniformArrivals(0, 1); len(times) != 0 {
+		t.Errorf("got %d arrivals for n=0, want none", len(times))
+	}
+	if times := UniformArrivals(1, 3); len(times) != 1 || times[0] != 0 {
+		t.Errorf("single uniform arrival %v, want [0]", times)
+	}
+	// Zero spacing degenerates to one big burst at t=0.
+	for i, ts := range UniformArrivals(4, 0) {
+		if ts != 0 {
+			t.Errorf("arrival %d at %v, want 0 with zero spacing", i, ts)
 		}
 	}
 }

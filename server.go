@@ -161,7 +161,12 @@ func (s *Server) Stats(served []ServedResult) ServeStats {
 			Tokens: sv.UsefulTokens, Rejected: sv.Rejected,
 		}
 	}
-	m := metrics.SummarizeServe(samples, s.slo)
+	return wrapServeStats(metrics.SummarizeServe(samples, s.slo))
+}
+
+// wrapServeStats converts the internal serve aggregates to the public
+// struct (shared by Server.Stats and the fleet stats).
+func wrapServeStats(m metrics.ServeStats) ServeStats {
 	return ServeStats{
 		Served: m.Served, Rejected: m.Rejected,
 		Makespan:       m.Makespan,
