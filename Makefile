@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench cover
+.PHONY: all build test lint bench cover scenarios bench-regress golden
 
 all: build lint test
 
@@ -25,3 +25,20 @@ bench:
 cover:
 	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
 	$(GO) tool cover -func=coverage.out | tail -n 20
+
+# Scenario-conformance: replay every named scenario on both targets and
+# require bit-identical agreement with the committed golden traces.
+scenarios:
+	$(GO) test -count=1 -run 'TestGoldenScenarioTraces|TestGoldenTracesDecodable|TestScenarioRunDeterministic' -v .
+
+# Regression sweep: run the full scenario matrix through fastttsbench,
+# check it against the goldens, and emit BENCH_scenarios.json (the CI
+# gate artifact). Fails on any mismatch or missing golden.
+bench-regress:
+	$(GO) run ./cmd/fastttsbench -scenarios -golden testdata/golden -out .
+
+# Regenerate the golden traces after an *intentional* behavior change.
+# Review the resulting diff like code before committing it.
+golden:
+	$(GO) test -count=1 -run TestGoldenScenarioTraces . -update
+	@git --no-pager diff --stat -- testdata/golden 2>/dev/null || true

@@ -202,6 +202,7 @@ func (c *Cluster) Run(reqs []Request) (*FleetRun, error) {
 				Slices:       r.Slices,
 				UsefulTokens: r.UsefulTokens,
 				Rejected:     r.Rejected,
+				Tag:          r.Tag,
 			},
 			Device:   r.Device,
 			Requeues: r.Requeues,

@@ -1,12 +1,19 @@
 // Command fastttsbench regenerates the paper's evaluation figures from
-// the simulated serving stack and prints (or writes) each as TSV.
+// the simulated serving stack and prints (or writes) each as TSV. It is
+// also the scenario-regression runner: -scenarios sweeps the named
+// workload-scenario matrix (catalog × server/cluster), checks every
+// trace against the committed goldens, and emits BENCH_scenarios.json
+// for the CI conformance gate.
 //
 // Usage:
 //
 //	fastttsbench -fig all                 # every figure, to stdout
 //	fastttsbench -fig 12 -problems 12     # one figure, bigger sample
 //	fastttsbench -fig 13 -out results/    # write results/fig13.tsv
-//	fastttsbench -list                    # list figure IDs
+//	fastttsbench -list                    # list figure IDs and scenarios
+//	fastttsbench -scenarios -golden testdata/golden -out .
+//	                                      # regression sweep -> ./BENCH_scenarios.json,
+//	                                      # nonzero exit on any golden mismatch
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"fasttts"
 	"fasttts/internal/bench"
 )
 
@@ -28,7 +36,11 @@ func main() {
 		maxN     = flag.Int("maxn", 512, "cap for beam-count sweeps")
 		out      = flag.String("out", "", "directory to write fig<ID>.<format> files (default stdout)")
 		format   = flag.String("format", "tsv", "output format: tsv or jsonl")
-		list     = flag.Bool("list", false, "list available figures and exit")
+		list     = flag.Bool("list", false, "list available figures and scenarios, then exit")
+
+		scenarios = flag.Bool("scenarios", false, "run the scenario-regression sweep instead of figures")
+		golden    = flag.String("golden", "", "golden-trace directory to check scenario runs against (e.g. testdata/golden)")
+		requests  = flag.Int("requests", 0, "scenario stream length (0 = scenario default)")
 	)
 	flag.Parse()
 
@@ -38,6 +50,21 @@ func main() {
 		}
 		for _, f := range bench.Extensions() {
 			fmt.Printf("%-4s %s (extension)\n", f.ID, f.Title)
+		}
+		for _, s := range fasttts.Scenarios() {
+			fmt.Printf("%-12s %s (scenario)\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	if *scenarios {
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := runScenarioRegress(*golden, *out, *requests, *seed); err != nil {
+			fatal(err)
 		}
 		return
 	}

@@ -1,0 +1,53 @@
+// scenarios sweeps the named workload-scenario catalog on both serving
+// targets and prints each run's headline aggregates — the quickest way
+// to see how the stack behaves under diurnal cycles, flash crowds,
+// heavy-tailed mixes, tenancy, fleet churn, and burst storms. Every run
+// is deterministic; add -trace to dump one scenario's canonical
+// replayable JSONL trace instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fasttts"
+)
+
+func main() {
+	traceName := flag.String("trace", "", "dump this scenario's cluster trace as JSONL and exit")
+	flag.Parse()
+
+	if *traceName != "" {
+		run, err := fasttts.RunScenario(*traceName, fasttts.ScenarioOptions{Target: fasttts.ScenarioCluster})
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := run.TraceJSONL()
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+
+	fmt.Printf("%-12s %-8s %6s %6s %9s %9s %9s %9s %9s\n",
+		"scenario", "target", "served", "shed", "makespan", "p99", "goodput", "slo", "requeues")
+	for _, info := range fasttts.Scenarios() {
+		for _, target := range []fasttts.ScenarioTarget{fasttts.ScenarioServer, fasttts.ScenarioCluster} {
+			run, err := fasttts.RunScenario(info.Name, fasttts.ScenarioOptions{Target: target})
+			if err != nil {
+				log.Fatal(err)
+			}
+			requeues := "-"
+			if run.FleetStats != nil {
+				requeues = fmt.Sprintf("%d", run.FleetStats.Requeues)
+			}
+			fmt.Printf("%-12s %-8s %6d %6d %8.1fs %8.1fs %9.1f %8.0f%% %9s\n",
+				run.Name, target, run.Stats.Served, run.Stats.Rejected,
+				run.Stats.Makespan, run.Stats.P99Latency, run.Stats.Goodput,
+				100*run.Stats.SLOAttainment, requeues)
+		}
+	}
+}

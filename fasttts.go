@@ -85,12 +85,34 @@
 //	run, _ := cl.Run(fasttts.PoissonRequests(probs, 0.6, 11))
 //	fmt.Printf("%+v\n", run.Stats())
 //
+// # Workload scenarios and golden-trace regression
+//
+// RunScenario serves one of the named, composable workload scenarios
+// (internal/scenario) — steady, diurnal (sinusoidal-rate arrivals),
+// flash-crowd, heavy-tail, tenant-mix, fleet-churn (staggered fail-stop
+// plus stragglers), burst-storm — on either the single-server or the
+// cluster target. Every scenario builds a deterministic request stream,
+// so a run is bit-identically reproducible; ScenarioRun.TraceJSONL
+// renders it as a canonical record/replay trace (internal/trace), and
+// the committed goldens under testdata/golden gate CI: replaying every
+// scenario must reproduce its golden byte-for-byte (`make scenarios`,
+// `make bench-regress`, regenerate intentional changes with
+// `make golden`).
+//
+//	run, _ := fasttts.RunScenario("fleet-churn", fasttts.ScenarioOptions{
+//		Target: fasttts.ScenarioCluster,
+//	})
+//	data, _ := run.TraceJSONL()
+//
 // # Development
 //
 // CI (.github/workflows/ci.yml) gates every change on go build, go vet,
 // gofmt, go test -race, a coverage-profile run with a per-function
-// summary, and a one-iteration benchmark smoke run; `make build / lint /
-// test / bench / cover` mirror the same gates locally.
+// summary and an uploaded profile artifact, a one-iteration benchmark
+// smoke run, and the scenario-conformance job (golden-trace replay plus
+// the BENCH_scenarios.json regression sweep); `make build / lint / test
+// / bench / cover / scenarios / bench-regress` mirror the same gates
+// locally.
 package fasttts
 
 import (

@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzRouterByName asserts the lookup is total: any input yields a
+// router or an error, never a panic, and the two outcomes are mutually
+// exclusive.
+func FuzzRouterByName(f *testing.F) {
+	for _, name := range append(RouterNames(),
+		"", "round-robin", "shortest-queue", "power-of-two", "lw", "prefix-affinity",
+		"RR", " p2c", "nope", "jsq\x00", "single,") {
+		f.Add(name)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		r, err := RouterByName(name)
+		if (r == nil) == (err == nil) {
+			t.Errorf("RouterByName(%q) = (%v, %v): want exactly one of router/error", name, r, err)
+		}
+		if err == nil && r.Name() == "" {
+			t.Errorf("RouterByName(%q) returned an unnamed router", name)
+		}
+	})
+}
+
+// TestRouterByNameQuick drives the lookup with arbitrary generated
+// strings: unknown names must come back as errors naming the input, and
+// every catalog name (plus case variants) must resolve to a fresh
+// router.
+func TestRouterByNameQuick(t *testing.T) {
+	total := func(name string) bool {
+		r, err := RouterByName(name)
+		if err != nil {
+			return r == nil && strings.Contains(err.Error(), "unknown router")
+		}
+		return r != nil
+	}
+	if err := quick.Check(total, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	for _, name := range append(RouterNames(), "SINGLE", "Rr", "Least-Work", "JSQ", "P2C", "Prefix") {
+		r, err := RouterByName(name)
+		if err != nil {
+			t.Errorf("router name %q did not resolve: %v", name, err)
+			continue
+		}
+		// Stateful routers must come back fresh per call, not shared.
+		if r2, _ := RouterByName(name); r2 == r && strings.HasPrefix(r.Name(), "rr") {
+			t.Errorf("RouterByName(%q) returned a shared stateful router", name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fasttts/internal/hw"
+	"fasttts/internal/metrics"
 	"fasttts/internal/model"
 	"fasttts/internal/rng"
 	"fasttts/internal/sched"
@@ -431,5 +432,46 @@ func BenchmarkServePoisson(b *testing.B) {
 		if _, err := srv.Run(reqs); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestStatsDegenerateStreams locks the engine-level zero-value contract:
+// empty and all-rejected served streams reduce to zero-valued, finite
+// aggregates (the public Server.Stats and FleetRun.Stats contracts build
+// on this one).
+func TestStatsDegenerateStreams(t *testing.T) {
+	rej := func(at float64) ServedResult {
+		return ServedResult{Arrival: at, Start: at, Finish: at, Rejected: true}
+	}
+	cases := []struct {
+		name   string
+		served []ServedResult
+		slo    float64
+		want   metrics.ServeStats
+	}{
+		{name: "nil no SLO", want: metrics.ServeStats{SLOAttainment: 1}},
+		{name: "nil with SLO", slo: 5, want: metrics.ServeStats{SLOAttainment: 1}},
+		{
+			name:   "all rejected with SLO",
+			served: []ServedResult{rej(0), rej(1)},
+			slo:    5,
+			want:   metrics.ServeStats{Rejected: 2, SLOAttainment: 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Stats(tc.served, tc.slo)
+			if got != tc.want {
+				t.Errorf("got %+v\nwant %+v", got, tc.want)
+			}
+			v := reflect.ValueOf(got)
+			for i := 0; i < v.NumField(); i++ {
+				if v.Field(i).Kind() == reflect.Float64 {
+					if x := v.Field(i).Float(); math.IsNaN(x) || math.IsInf(x, 0) {
+						t.Errorf("field %s = %v, want finite", v.Type().Field(i).Name, x)
+					}
+				}
+			}
+		})
 	}
 }

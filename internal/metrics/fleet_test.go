@@ -85,3 +85,44 @@ func TestSummarizeFleetNoPrefixTraffic(t *testing.T) {
 		t.Errorf("imbalance CV %v for one device, want 0", st.ImbalanceCV)
 	}
 }
+
+// TestSummarizeFleetDegenerate locks the fleet-level zero-value contract
+// on empty and all-rejected streams, including a failed device with zero
+// lifetime: all aggregates zero-valued and finite.
+func TestSummarizeFleetDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   FleetInput
+	}{
+		{name: "zero input"},
+		{name: "empty with SLO", in: FleetInput{SLOLatency: 5}},
+		{
+			name: "all rejected, dead zero-lifetime device",
+			in: FleetInput{
+				Samples:    []ServeSample{{Arrival: 1, Rejected: true}, {Arrival: 2, Rejected: true}},
+				Devices:    []FleetDevice{{Failed: true}, {Lifetime: 0, Busy: 0}},
+				SLOLatency: 5,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := SummarizeFleet(tc.in)
+			assertFinite(t, st.ServeStats)
+			for i, d := range st.Devices {
+				if d.Utilization != 0 || d.Goodput != 0 {
+					t.Errorf("device %d: utilization %v goodput %v, want 0 for zero lifetime", i, d.Utilization, d.Goodput)
+				}
+			}
+			if st.ImbalanceCV != 0 {
+				t.Errorf("ImbalanceCV = %v, want 0 with no work", st.ImbalanceCV)
+			}
+			if st.PrefixHitRate != 0 {
+				t.Errorf("PrefixHitRate = %v, want 0 with no prefix traffic", st.PrefixHitRate)
+			}
+			if st.Served != 0 {
+				t.Errorf("Served = %d, want 0", st.Served)
+			}
+		})
+	}
+}

@@ -62,6 +62,11 @@ func Percentile(xs []float64, p float64) float64 {
 // SummarizeServe reduces a served stream to server-level aggregates.
 // sloLatency is the wall-latency target in seconds; <= 0 disables the
 // SLO-attainment metric (reported as 1).
+//
+// Empty and all-rejected streams are well-defined, never NaN/Inf: every
+// aggregate is zero-valued, except SLOAttainment, which is 1 (vacuous)
+// on an empty stream and 0 when load was submitted under a target but
+// nothing met it.
 func SummarizeServe(samples []ServeSample, sloLatency float64) ServeStats {
 	s := ServeStats{SLOAttainment: 1}
 	var queued, wall []float64
@@ -88,6 +93,16 @@ func SummarizeServe(samples []ServeSample, sloLatency float64) ServeStats {
 			attained++
 		}
 	}
+	if s.Served == 0 {
+		// Empty or all-rejected: no served sample exists to aggregate, so
+		// every percentile, delay, and rate stays zero-valued rather than
+		// risking 0/0 down the line. Rejected load under a target is still
+		// all-missed load.
+		if sloLatency > 0 && s.Rejected > 0 {
+			s.SLOAttainment = 0
+		}
+		return s
+	}
 	s.MeanQueueDelay = Mean(queued)
 	s.MeanLatency = Mean(wall)
 	s.P50Latency = Percentile(wall, 50)
@@ -96,7 +111,7 @@ func SummarizeServe(samples []ServeSample, sloLatency float64) ServeStats {
 	if s.Makespan > 0 {
 		s.Goodput = float64(tokens) / s.Makespan
 	}
-	if total := s.Served + s.Rejected; sloLatency > 0 && total > 0 {
+	if total := s.Served + s.Rejected; sloLatency > 0 {
 		s.SLOAttainment = float64(attained) / float64(total)
 	}
 	return s

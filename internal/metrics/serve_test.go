@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -67,5 +68,69 @@ func TestSummarizeServe(t *testing.T) {
 	}
 	if s := SummarizeServe(nil, 1); s.Served != 0 || s.SLOAttainment != 1 {
 		t.Errorf("empty stream: %+v", s)
+	}
+}
+
+// TestSummarizeServeDegenerateStreams locks the zero-value contract:
+// empty and all-rejected streams produce zero-valued aggregates with
+// every field finite — never NaN/Inf percentiles or rates.
+func TestSummarizeServeDegenerateStreams(t *testing.T) {
+	rej := func(at float64) ServeSample { return ServeSample{Arrival: at, Rejected: true} }
+	cases := []struct {
+		name    string
+		samples []ServeSample
+		slo     float64
+		want    ServeStats
+	}{
+		{
+			name: "nil stream no SLO",
+			want: ServeStats{SLOAttainment: 1},
+		},
+		{
+			name: "nil stream with SLO",
+			slo:  10,
+			want: ServeStats{SLOAttainment: 1}, // vacuously attained
+		},
+		{
+			name:    "empty stream with SLO",
+			samples: []ServeSample{},
+			slo:     10,
+			want:    ServeStats{SLOAttainment: 1},
+		},
+		{
+			name:    "all rejected no SLO",
+			samples: []ServeSample{rej(1), rej(2)},
+			want:    ServeStats{Rejected: 2, SLOAttainment: 1},
+		},
+		{
+			name:    "all rejected with SLO",
+			samples: []ServeSample{rej(1), rej(2), rej(3)},
+			slo:     10,
+			want:    ServeStats{Rejected: 3, SLOAttainment: 0}, // shed load is missed load
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := SummarizeServe(tc.samples, tc.slo)
+			if got != tc.want {
+				t.Errorf("got %+v\nwant %+v", got, tc.want)
+			}
+			assertFinite(t, got)
+		})
+	}
+}
+
+// assertFinite walks every float64 field and fails on NaN or Inf.
+func assertFinite(t *testing.T, v any) {
+	t.Helper()
+	rv := reflect.ValueOf(v)
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		if f.Kind() == reflect.Float64 {
+			x := f.Float()
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("field %s = %v, want finite", rv.Type().Field(i).Name, x)
+			}
+		}
 	}
 }

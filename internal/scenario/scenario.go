@@ -1,0 +1,383 @@
+// Package scenario is the library of composable, named workload
+// scenarios for the serving and fleet stack. A Scenario turns Params
+// (stream length, seed) into a Spec: a fully deterministic request
+// stream — each request pinned to a benchmark problem, an arrival time,
+// and optional priority/deadline metadata — plus the serving setup for
+// the single-server target and a heterogeneous device topology (with
+// straggler and fail-stop injection) for the cluster target. The same
+// Spec is runnable against both fasttts.Server and fasttts.Cluster; the
+// public fasttts.RunScenario entry point materializes and serves it.
+//
+// Because every request stream is a pure function of Params and the
+// serving stack is a deterministic simulation, a scenario run is
+// bit-identically reproducible; the golden-trace conformance harness
+// (testdata/golden, internal/trace's record/replay) relies on exactly
+// this to prove hot-path changes didn't alter behavior.
+//
+// The catalog (see All):
+//
+//	steady       uniform-spacing single-dataset baseline
+//	diurnal      sinusoidal-rate arrivals over a day-like cycle
+//	flash-crowd  low base rate with a sudden 8× arrival spike
+//	heavy-tail   problem mix dominated by heavy-tailed AIME service demand
+//	tenant-mix   multi-dataset tenants with priorities and SLO deadlines
+//	fleet-churn  staggered device fail-stops plus a straggler
+//	burst-storm  repeated synchronized bursts against admission limits
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"fasttts/internal/rng"
+	"fasttts/internal/workload"
+)
+
+// Request is one scenario request: a benchmark problem reference plus
+// client-side metadata. Problem indexes into the named dataset as
+// materialized from the run seed.
+type Request struct {
+	Dataset string
+	Problem int
+	Arrival float64
+	// Priority orders requests under the "priority" policy; larger first.
+	Priority int
+	// Deadline is the absolute SLO deadline on the server clock; 0 none.
+	Deadline float64
+}
+
+// Serve is the single-server serving setup of a scenario.
+type Serve struct {
+	// Policy names the admission/ordering discipline ("fcfs", "sjf",
+	// "priority", "deadline"); empty means fcfs.
+	Policy string
+	// MaxInFlight, when positive, sheds arrivals beyond this many admitted
+	// unfinished requests.
+	MaxInFlight int
+}
+
+// Device is one member of the scenario's fleet topology, described by
+// deployment names so the public API layer can materialize it.
+type Device struct {
+	// GPU is the device name ("RTX 4090", "RTX 4070 Ti", "RTX 3070 Ti").
+	GPU string
+	// Algorithm is the TTS search method; empty means Beam Search.
+	Algorithm string
+	// NumBeams is the search width; 0 means the deployment default.
+	NumBeams int
+	// Seed drives the device engine's randomness.
+	Seed uint64
+	// Policy names the device's serving discipline; empty means fcfs.
+	Policy string
+	// MaxInFlight, when positive, sheds arrivals beyond this limit.
+	MaxInFlight int
+	// Slowdown is the straggler factor (values below 1 mean none).
+	Slowdown float64
+	// FailAt, when positive, fail-stops the device at that fleet time.
+	FailAt float64
+}
+
+// Spec is one materializable scenario instance: everything needed to
+// serve the stream on a Server or a Cluster.
+type Spec struct {
+	Name, Description string
+	// Seed is the run seed the spec was built from; datasets and router
+	// randomness derive from it.
+	Seed uint64
+	// Requests is the deterministic request stream, sorted by arrival.
+	Requests []Request
+	// Serve configures the single-server target.
+	Serve Serve
+	// Devices is the fleet topology for the cluster target (≥ 3 devices in
+	// every built-in scenario).
+	Devices []Device
+	// Router names the fleet routing discipline; empty means rr.
+	Router string
+	// SLOLatency is the per-request wall-latency target in seconds used by
+	// stats on both targets; 0 disables SLO accounting.
+	SLOLatency float64
+}
+
+// Params scales a scenario. The zero value selects scenario defaults.
+type Params struct {
+	// Requests is the stream length; 0 means the scenario default.
+	Requests int
+	// Seed drives all randomness (arrivals, problem mixes, router, device
+	// engines); 0 means 42.
+	Seed uint64
+}
+
+func (p Params) withDefaults(defaultRequests int) Params {
+	if p.Requests <= 0 {
+		p.Requests = defaultRequests
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	return p
+}
+
+// Scenario is one named, composable workload generator.
+type Scenario struct {
+	Name        string
+	Description string
+	Build       func(Params) Spec
+}
+
+// All returns the catalog in display order.
+func All() []Scenario {
+	return []Scenario{
+		{
+			Name:        "steady",
+			Description: "uniform-spacing single-dataset baseline on a homogeneous fleet",
+			Build:       buildSteady,
+		},
+		{
+			Name:        "diurnal",
+			Description: "sinusoidal-rate arrivals over a day-like cycle, MATH500/AMC23 mix",
+			Build:       buildDiurnal,
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "low base rate with a sudden 8x spike against admission limits",
+			Build:       buildFlashCrowd,
+		},
+		{
+			Name:        "heavy-tail",
+			Description: "AIME-dominated problem mix with heavy-tailed service demand under SJF",
+			Build:       buildHeavyTail,
+		},
+		{
+			Name:        "tenant-mix",
+			Description: "multi-dataset tenants with priorities and SLO deadlines on a multi-algorithm fleet",
+			Build:       buildTenantMix,
+		},
+		{
+			Name:        "fleet-churn",
+			Description: "staggered device fail-stops plus a straggler under work-aware routing",
+			Build:       buildFleetChurn,
+		},
+		{
+			Name:        "burst-storm",
+			Description: "repeated synchronized bursts against per-device admission limits",
+			Build:       buildBurstStorm,
+		},
+	}
+}
+
+// Names lists the catalog's scenario names in display order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ByName resolves a scenario from its CLI/config name. It returns an
+// error — never panics — on unknown or empty names.
+func ByName(name string) (Scenario, error) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	for _, s := range All() {
+		if s.Name == key {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (want one of %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// --- builders ---
+
+// defaultFleet is the 3-device heterogeneous fleet used by scenarios that
+// don't inject faults: a fast 4090, a mid 4070 Ti running SJF, and a slow
+// 3070 Ti. Device seeds derive from the run seed so distinct runs get
+// distinct (but reproducible) engines.
+func defaultFleet(seed uint64) []Device {
+	return []Device{
+		{GPU: "RTX 4090", NumBeams: 8, Seed: seed + 1},
+		{GPU: "RTX 4070 Ti", NumBeams: 8, Seed: seed + 2, Policy: "sjf"},
+		{GPU: "RTX 3070 Ti", NumBeams: 8, Seed: seed + 3},
+	}
+}
+
+// mixEntry is one weighted dataset in a tenant/problem mix.
+type mixEntry struct {
+	dataset string
+	weight  float64
+}
+
+// mixProblems draws one problem reference per arrival from a weighted
+// dataset mix, deterministically from the stream.
+func mixProblems(arrivals []float64, mix []mixEntry, r *rng.Stream) []Request {
+	total := 0.0
+	for _, m := range mix {
+		total += m.weight
+	}
+	out := make([]Request, len(arrivals))
+	for i, at := range arrivals {
+		x := r.Float64() * total
+		pick := mix[len(mix)-1]
+		for _, m := range mix {
+			if x < m.weight {
+				pick = m
+				break
+			}
+			x -= m.weight
+		}
+		spec, err := workload.SpecByName(pick.dataset)
+		if err != nil {
+			panic(fmt.Sprintf("scenario: built-in mix references %s: %v", pick.dataset, err))
+		}
+		out[i] = Request{Dataset: pick.dataset, Problem: r.IntN(spec.Problems), Arrival: at}
+	}
+	return out
+}
+
+func singleDataset(name string) []mixEntry {
+	return []mixEntry{{name, 1}}
+}
+
+func buildSteady(p Params) Spec {
+	p = p.withDefaults(18)
+	r := rng.New(p.Seed).Child("scenario/steady")
+	arrivals := workload.UniformArrivals(p.Requests, 2.0)
+	return Spec{
+		Name:       "steady",
+		Seed:       p.Seed,
+		Requests:   mixProblems(arrivals, singleDataset("MATH500"), r.Child("mix")),
+		Serve:      Serve{Policy: "fcfs"},
+		Devices:    defaultFleet(p.Seed),
+		Router:     "rr",
+		SLOLatency: 120,
+	}
+}
+
+func buildDiurnal(p Params) Spec {
+	p = p.withDefaults(24)
+	r := rng.New(p.Seed).Child("scenario/diurnal")
+	arrivals := workload.SinusoidalArrivals(p.Requests, 0.5, 0.8, 60, r.Child("arrivals"))
+	mix := []mixEntry{{"MATH500", 0.7}, {"AMC23", 0.3}}
+	return Spec{
+		Name:       "diurnal",
+		Seed:       p.Seed,
+		Requests:   mixProblems(arrivals, mix, r.Child("mix")),
+		Serve:      Serve{Policy: "fcfs"},
+		Devices:    defaultFleet(p.Seed),
+		Router:     "least-work",
+		SLOLatency: 150,
+	}
+}
+
+func buildFlashCrowd(p Params) Spec {
+	p = p.withDefaults(24)
+	r := rng.New(p.Seed).Child("scenario/flash-crowd")
+	arrivals := workload.FlashCrowdArrivals(p.Requests, 0.15, 20, 12, 8, r.Child("arrivals"))
+	devices := defaultFleet(p.Seed)
+	for i := range devices {
+		devices[i].MaxInFlight = 3
+	}
+	return Spec{
+		Name:       "flash-crowd",
+		Seed:       p.Seed,
+		Requests:   mixProblems(arrivals, singleDataset("MATH500"), r.Child("mix")),
+		Serve:      Serve{Policy: "fcfs", MaxInFlight: 6},
+		Devices:    devices,
+		Router:     "jsq",
+		SLOLatency: 90,
+	}
+}
+
+func buildHeavyTail(p Params) Spec {
+	p = p.withDefaults(16)
+	r := rng.New(p.Seed).Child("scenario/heavy-tail")
+	arrivals := workload.PoissonArrivals(p.Requests, 0.35, r.Child("arrivals"))
+	mix := []mixEntry{{"AIME24", 0.7}, {"MATH500", 0.3}}
+	return Spec{
+		Name:       "heavy-tail",
+		Seed:       p.Seed,
+		Requests:   mixProblems(arrivals, mix, r.Child("mix")),
+		Serve:      Serve{Policy: "sjf"},
+		Devices:    defaultFleet(p.Seed),
+		Router:     "least-work",
+		SLOLatency: 240,
+	}
+}
+
+func buildTenantMix(p Params) Spec {
+	p = p.withDefaults(24)
+	r := rng.New(p.Seed).Child("scenario/tenant-mix")
+	arrivals := workload.PoissonArrivals(p.Requests, 0.5, r.Child("arrivals"))
+	mix := []mixEntry{{"MATH500", 0.5}, {"AMC23", 0.3}, {"HumanEval", 0.2}}
+	reqs := mixProblems(arrivals, mix, r.Child("mix"))
+	for i := range reqs {
+		switch reqs[i].Dataset {
+		case "AMC23":
+			// Interactive tenant: high priority, tight SLO deadline.
+			reqs[i].Priority = 2
+			reqs[i].Deadline = reqs[i].Arrival + 45
+		case "HumanEval":
+			// Code tenant: mid priority, loose deadline.
+			reqs[i].Priority = 1
+			reqs[i].Deadline = reqs[i].Arrival + 120
+		}
+	}
+	return Spec{
+		Name:     "tenant-mix",
+		Seed:     p.Seed,
+		Requests: reqs,
+		Serve:    Serve{Policy: "priority"},
+		Devices: []Device{
+			{GPU: "RTX 4090", Algorithm: "Beam Search", NumBeams: 8, Seed: p.Seed + 1, Policy: "priority"},
+			{GPU: "RTX 4070 Ti", Algorithm: "Best-of-N", NumBeams: 8, Seed: p.Seed + 2, Policy: "deadline"},
+			{GPU: "RTX 3070 Ti", Algorithm: "DVTS", NumBeams: 8, Seed: p.Seed + 3, Policy: "fcfs"},
+		},
+		Router:     "prefix",
+		SLOLatency: 120,
+	}
+}
+
+func buildFleetChurn(p Params) Spec {
+	p = p.withDefaults(24)
+	r := rng.New(p.Seed).Child("scenario/fleet-churn")
+	arrivals := workload.PoissonArrivals(p.Requests, 0.5, r.Child("arrivals"))
+	return Spec{
+		Name:     "fleet-churn",
+		Seed:     p.Seed,
+		Requests: mixProblems(arrivals, singleDataset("MATH500"), r.Child("mix")),
+		Serve:    Serve{Policy: "fcfs"},
+		Devices: []Device{
+			{GPU: "RTX 4090", NumBeams: 8, Seed: p.Seed + 1},
+			{GPU: "RTX 4090", NumBeams: 8, Seed: p.Seed + 2, Slowdown: 3},
+			{GPU: "RTX 4070 Ti", NumBeams: 8, Seed: p.Seed + 3, FailAt: 40},
+			{GPU: "RTX 3070 Ti", NumBeams: 8, Seed: p.Seed + 4, FailAt: 80},
+		},
+		Router:     "least-work",
+		SLOLatency: 180,
+	}
+}
+
+func buildBurstStorm(p Params) Spec {
+	p = p.withDefaults(24)
+	r := rng.New(p.Seed).Child("scenario/burst-storm")
+	arrivals := workload.BurstArrivals(p.Requests, 6, 30)
+	reqs := mixProblems(arrivals, singleDataset("AMC23"), r.Child("mix"))
+	for i := range reqs {
+		reqs[i].Deadline = reqs[i].Arrival + 60
+	}
+	devices := defaultFleet(p.Seed)
+	for i := range devices {
+		devices[i].Policy = "deadline"
+		devices[i].MaxInFlight = 4
+	}
+	return Spec{
+		Name:       "burst-storm",
+		Seed:       p.Seed,
+		Requests:   reqs,
+		Serve:      Serve{Policy: "deadline", MaxInFlight: 8},
+		Devices:    devices,
+		Router:     "p2c",
+		SLOLatency: 90,
+	}
+}

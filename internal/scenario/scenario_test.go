@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"fasttts/internal/workload"
+)
+
+func TestCatalogShape(t *testing.T) {
+	all := All()
+	if len(all) < 6 {
+		t.Fatalf("catalog has %d scenarios, want >= 6", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.Name == "" || s.Description == "" || s.Build == nil {
+			t.Errorf("scenario %+v incomplete", s)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Name != strings.ToLower(s.Name) {
+			t.Errorf("scenario name %q not lower-case", s.Name)
+		}
+	}
+	if got, want := len(Names()), len(all); got != want {
+		t.Errorf("Names() has %d entries, want %d", got, want)
+	}
+}
+
+func TestBuildSpecs(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			spec := s.Build(Params{})
+			if spec.Name != s.Name {
+				t.Errorf("spec name %q, want %q", spec.Name, s.Name)
+			}
+			if len(spec.Requests) == 0 {
+				t.Fatal("empty request stream")
+			}
+			if len(spec.Devices) < 3 {
+				t.Errorf("%d devices, want >= 3 for the cluster target", len(spec.Devices))
+			}
+			if spec.Seed == 0 {
+				t.Error("spec did not record its run seed")
+			}
+			prev := 0.0
+			for i, rq := range spec.Requests {
+				if rq.Arrival < prev {
+					t.Fatalf("request %d arrives at %v before %v", i, rq.Arrival, prev)
+				}
+				prev = rq.Arrival
+				ds, err := workload.SpecByName(rq.Dataset)
+				if err != nil {
+					t.Fatalf("request %d references dataset %q: %v", i, rq.Dataset, err)
+				}
+				if rq.Problem < 0 || rq.Problem >= ds.Problems {
+					t.Fatalf("request %d problem index %d outside %s's %d problems",
+						i, rq.Problem, rq.Dataset, ds.Problems)
+				}
+				if rq.Deadline != 0 && rq.Deadline < rq.Arrival {
+					t.Fatalf("request %d deadline %v before arrival %v", i, rq.Deadline, rq.Arrival)
+				}
+			}
+		})
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, s := range All() {
+		a := s.Build(Params{Requests: 12, Seed: 7})
+		b := s.Build(Params{Requests: 12, Seed: 7})
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: equal params built unequal specs", s.Name)
+		}
+		c := s.Build(Params{Requests: 12, Seed: 8})
+		if reflect.DeepEqual(a.Requests, c.Requests) && s.Name != "steady" && s.Name != "burst-storm" {
+			// steady and burst-storm have deterministic arrival grids, but
+			// their problem mixes must still vary with the seed.
+			t.Errorf("%s: seeds 7 and 8 built identical request streams", s.Name)
+		}
+	}
+}
+
+func TestParamsScaleStreamLength(t *testing.T) {
+	for _, s := range All() {
+		spec := s.Build(Params{Requests: 9, Seed: 3})
+		if len(spec.Requests) != 9 {
+			t.Errorf("%s: got %d requests, want 9", s.Name, len(spec.Requests))
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if s.Name != name {
+			t.Errorf("ByName(%q) resolved %q", name, s.Name)
+		}
+	}
+	// Case- and whitespace-insensitive.
+	if s, err := ByName("  Diurnal "); err != nil || s.Name != "diurnal" {
+		t.Errorf("ByName with case/space got (%v, %v)", s.Name, err)
+	}
+	for _, bad := range []string{"", "nope", "steady2", "Diurnal Cycle"} {
+		if _, err := ByName(bad); err == nil {
+			t.Errorf("ByName(%q) did not error", bad)
+		}
+	}
+}
+
+func TestFleetChurnInjectsFaults(t *testing.T) {
+	spec := mustBuild(t, "fleet-churn")
+	fails, stragglers := 0, 0
+	for _, d := range spec.Devices {
+		if d.FailAt > 0 {
+			fails++
+		}
+		if d.Slowdown > 1 {
+			stragglers++
+		}
+	}
+	if fails < 2 {
+		t.Errorf("%d fail-stops, want >= 2 (staggered churn)", fails)
+	}
+	if stragglers < 1 {
+		t.Errorf("%d stragglers, want >= 1", stragglers)
+	}
+}
+
+func TestTenantMixCarriesTenancy(t *testing.T) {
+	spec := mustBuild(t, "tenant-mix")
+	datasets := map[string]bool{}
+	priorities, deadlines := 0, 0
+	for _, rq := range spec.Requests {
+		datasets[rq.Dataset] = true
+		if rq.Priority > 0 {
+			priorities++
+		}
+		if rq.Deadline > 0 {
+			deadlines++
+		}
+	}
+	if len(datasets) < 2 {
+		t.Errorf("tenant-mix drew %d datasets, want a real mix", len(datasets))
+	}
+	if priorities == 0 || deadlines == 0 {
+		t.Errorf("tenant-mix has %d prioritized and %d deadlined requests, want both > 0", priorities, deadlines)
+	}
+	algos := map[string]bool{}
+	for _, d := range spec.Devices {
+		algos[d.Algorithm] = true
+	}
+	if len(algos) < 2 {
+		t.Errorf("tenant-mix fleet runs %d algorithms, want a multi-algorithm fleet", len(algos))
+	}
+}
+
+func TestFlashCrowdSheds(t *testing.T) {
+	spec := mustBuild(t, "flash-crowd")
+	if spec.Serve.MaxInFlight <= 0 {
+		t.Error("flash-crowd server has no admission limit")
+	}
+	for i, d := range spec.Devices {
+		if d.MaxInFlight <= 0 {
+			t.Errorf("flash-crowd device %d has no admission limit", i)
+		}
+	}
+}
+
+func mustBuild(t *testing.T, name string) Spec {
+	t.Helper()
+	s, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Build(Params{})
+}
+
+// FuzzByName asserts the lookup is total: any input yields a scenario or
+// an error, never a panic.
+func FuzzByName(f *testing.F) {
+	for _, name := range Names() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("  ")
+	f.Add("no-such-scenario")
+	f.Add("STEADY\x00")
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := ByName(name)
+		if err == nil && s.Build == nil {
+			t.Errorf("ByName(%q) returned a scenario without a builder", name)
+		}
+		if err != nil && s.Name != "" {
+			t.Errorf("ByName(%q) returned both a scenario and an error", name)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzPolicyByName asserts the lookup is total: any input yields a policy
+// or an error, never a panic, and the two outcomes are mutually
+// exclusive.
+func FuzzPolicyByName(f *testing.F) {
+	for _, name := range []string{"", "fcfs", "sjf", "first-finish", "priority", "deadline", "edf",
+		"FCFS", " sjf", "nope", "fcfs\x00", "deadline,"} {
+		f.Add(name)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		pol, err := PolicyByName(name)
+		if (pol == nil) == (err == nil) {
+			t.Errorf("PolicyByName(%q) = (%v, %v): want exactly one of policy/error", name, pol, err)
+		}
+		if err == nil && pol.Name() == "" {
+			t.Errorf("PolicyByName(%q) returned an unnamed policy", name)
+		}
+	})
+}
+
+// TestPolicyByNameQuick drives the lookup with arbitrary generated
+// strings (quick-check style): unknown names must come back as errors
+// naming the input, and case variants of known names must resolve.
+func TestPolicyByNameQuick(t *testing.T) {
+	total := func(name string) bool {
+		pol, err := PolicyByName(name)
+		if err != nil {
+			return pol == nil && strings.Contains(err.Error(), "unknown serve policy")
+		}
+		return pol != nil
+	}
+	if err := quick.Check(total, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	for _, name := range []string{"FCFS", "Sjf", "PRIORITY", "Deadline", "EDF"} {
+		if _, err := PolicyByName(name); err != nil {
+			t.Errorf("case variant %q did not resolve: %v", name, err)
+		}
+	}
+}

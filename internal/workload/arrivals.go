@@ -9,6 +9,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"fasttts/internal/rng"
 )
@@ -50,6 +51,72 @@ func BurstArrivals(n, burst int, gap float64) []float64 {
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = float64(i/burst) * gap
+	}
+	return out
+}
+
+// SinusoidalArrivals returns n arrivals of a nonhomogeneous Poisson
+// process whose rate follows a diurnal cycle:
+//
+//	λ(t) = base · (1 + amplitude·sin(2πt/period))
+//
+// sampled by Lewis–Shedler thinning, so the stream is a deterministic
+// function of r. amplitude is clamped into [0, 1] (amplitude 1 means the
+// rate dips to zero at the trough); it panics if base or period is not
+// positive.
+func SinusoidalArrivals(n int, base, amplitude, period float64, r *rng.Stream) []float64 {
+	if base <= 0 {
+		panic(fmt.Sprintf("workload: sinusoidal base rate must be positive, got %v", base))
+	}
+	if period <= 0 {
+		panic(fmt.Sprintf("workload: sinusoidal period must be positive, got %v", period))
+	}
+	if math.IsNaN(amplitude) {
+		// A NaN amplitude would poison every thinning acceptance test and
+		// hang the sampler; fail fast like the other invalid parameters.
+		panic("workload: sinusoidal amplitude must not be NaN")
+	}
+	amplitude = math.Min(math.Max(amplitude, 0), 1)
+	rate := func(t float64) float64 {
+		return base * (1 + amplitude*math.Sin(2*math.Pi*t/period))
+	}
+	return thinned(n, base*(1+amplitude), rate, r)
+}
+
+// FlashCrowdArrivals returns n arrivals of a piecewise-rate Poisson
+// process: base requests/second everywhere except the flash-crowd window
+// [spikeStart, spikeStart+spikeDur), where the rate is base·mult. Sampled
+// by thinning, so the stream is a deterministic function of r. It panics
+// if base is not positive or mult is negative (mult below 1 models a dip
+// rather than a crowd, and mult 0 an outage window).
+func FlashCrowdArrivals(n int, base, spikeStart, spikeDur, mult float64, r *rng.Stream) []float64 {
+	if base <= 0 {
+		panic(fmt.Sprintf("workload: flash-crowd base rate must be positive, got %v", base))
+	}
+	if mult < 0 || math.IsNaN(mult) {
+		panic(fmt.Sprintf("workload: flash-crowd multiplier must be non-negative, got %v", mult))
+	}
+	rate := func(t float64) float64 {
+		if t >= spikeStart && t < spikeStart+spikeDur {
+			return base * mult
+		}
+		return base
+	}
+	return thinned(n, base*math.Max(1, mult), rate, r)
+}
+
+// thinned samples n arrivals of a nonhomogeneous Poisson process with the
+// given instantaneous rate via Lewis–Shedler thinning: candidate arrivals
+// are drawn at the envelope rate maxRate (≥ rate(t) everywhere) and
+// accepted with probability rate(t)/maxRate.
+func thinned(n int, maxRate float64, rate func(float64) float64, r *rng.Stream) []float64 {
+	out := make([]float64, 0, n)
+	t := 0.0
+	for len(out) < n {
+		t += r.Exp(maxRate)
+		if r.Bool(rate(t) / maxRate) {
+			out = append(out, t)
+		}
 	}
 	return out
 }

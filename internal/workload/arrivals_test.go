@@ -129,6 +129,135 @@ func TestBurstArrivalsEdgeCases(t *testing.T) {
 	}
 }
 
+func TestSinusoidalArrivalsShape(t *testing.T) {
+	const n, base, period = 6000, 2.0, 50.0
+	times := SinusoidalArrivals(n, base, 0.8, period, rng.New(7).Child("arr"))
+	if len(times) != n {
+		t.Fatalf("got %d arrivals, want %d", len(times), n)
+	}
+	prev := 0.0
+	for i, ts := range times {
+		if ts < prev {
+			t.Fatalf("arrival %d at %v before %v", i, ts, prev)
+		}
+		prev = ts
+	}
+	// The time-averaged rate of λ(t) = base·(1 + a·sin) is base.
+	mean := times[n-1] / float64(n)
+	if math.Abs(mean-1/base) > 0.1/base {
+		t.Errorf("mean inter-arrival %v, want ≈ %v", mean, 1/base)
+	}
+	// Peak half-cycles ([0, T/2) mod T) must carry more arrivals than
+	// trough half-cycles — the diurnal asymmetry the scenario exists for.
+	peak, trough := 0, 0
+	for _, ts := range times {
+		if math.Mod(ts, period) < period/2 {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak <= trough {
+		t.Errorf("peak half-cycles got %d arrivals vs %d in troughs, want more", peak, trough)
+	}
+}
+
+func TestSinusoidalArrivalsDeterministic(t *testing.T) {
+	a := SinusoidalArrivals(64, 1.0, 0.5, 30, rng.New(7).Child("arr"))
+	b := SinusoidalArrivals(64, 1.0, 0.5, 30, rng.New(7).Child("arr"))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across equal streams: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSinusoidalArrivalsAmplitudeClamp(t *testing.T) {
+	// Amplitudes outside [0, 1] are clamped, not rejected: 2 behaves as 1.
+	a := SinusoidalArrivals(32, 1.0, 2.0, 30, rng.New(7).Child("arr"))
+	b := SinusoidalArrivals(32, 1.0, 1.0, 30, rng.New(7).Child("arr"))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d: amplitude 2 gave %v, clamped amplitude 1 gave %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSinusoidalArrivalsPanics(t *testing.T) {
+	for _, tc := range []struct{ base, amplitude, period float64 }{
+		{0, 0.5, 10}, {-1, 0.5, 10}, {1, 0.5, 0}, {1, 0.5, -5}, {1, math.NaN(), 10},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("base %v amplitude %v period %v did not panic", tc.base, tc.amplitude, tc.period)
+				}
+			}()
+			SinusoidalArrivals(4, tc.base, tc.amplitude, tc.period, rng.New(7).Child("arr"))
+		}()
+	}
+}
+
+func TestFlashCrowdArrivalsShape(t *testing.T) {
+	const n, base, spikeStart, spikeDur, mult = 4000, 0.5, 100.0, 50.0, 10.0
+	times := FlashCrowdArrivals(n, base, spikeStart, spikeDur, mult, rng.New(7).Child("arr"))
+	if len(times) != n {
+		t.Fatalf("got %d arrivals, want %d", len(times), n)
+	}
+	inSpike := 0
+	prev := 0.0
+	for i, ts := range times {
+		if ts < prev {
+			t.Fatalf("arrival %d at %v before %v", i, ts, prev)
+		}
+		prev = ts
+		if ts >= spikeStart && ts < spikeStart+spikeDur {
+			inSpike++
+		}
+	}
+	// The spike window must be ≫ denser than the baseline: its arrival
+	// rate is mult× base, so density per second should exceed 2× baseline
+	// even with sampling noise.
+	spikeDensity := float64(inSpike) / spikeDur
+	baseDensity := float64(n-inSpike) / (times[n-1] - spikeDur)
+	if spikeDensity < 2*baseDensity {
+		t.Errorf("spike density %v vs baseline %v, want the flash crowd to dominate", spikeDensity, baseDensity)
+	}
+}
+
+func TestFlashCrowdArrivalsDeterministic(t *testing.T) {
+	a := FlashCrowdArrivals(64, 0.5, 20, 10, 8, rng.New(7).Child("arr"))
+	b := FlashCrowdArrivals(64, 0.5, 20, 10, 8, rng.New(7).Child("arr"))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs across equal streams: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFlashCrowdArrivalsZeroMultSkipsWindow(t *testing.T) {
+	// mult 0 models an outage window: no arrival may land inside it.
+	times := FlashCrowdArrivals(200, 2.0, 10, 5, 0, rng.New(7).Child("arr"))
+	for i, ts := range times {
+		if ts >= 10 && ts < 15 {
+			t.Fatalf("arrival %d at %v inside the zero-rate window", i, ts)
+		}
+	}
+}
+
+func TestFlashCrowdArrivalsPanics(t *testing.T) {
+	for _, tc := range []struct{ base, mult float64 }{{0, 2}, {-1, 2}, {1, -0.5}, {1, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("base %v mult %v did not panic", tc.base, tc.mult)
+				}
+			}()
+			FlashCrowdArrivals(4, tc.base, 10, 5, tc.mult, rng.New(7).Child("arr"))
+		}()
+	}
+}
+
 func TestUniformArrivalsEdgeCases(t *testing.T) {
 	if times := UniformArrivals(0, 1); len(times) != 0 {
 		t.Errorf("got %d arrivals for n=0, want none", len(times))

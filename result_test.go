@@ -1,0 +1,123 @@
+package fasttts
+
+// Direct table tests for result.go: wrapResult's field mapping, the
+// voting/ranking accessors, and Summarize's aggregation.
+
+import (
+	"math"
+	"testing"
+
+	"fasttts/internal/core"
+)
+
+func coreResult(latency, goodput float64, paths ...core.FinalPath) *core.Result {
+	return &core.Result{
+		Finished:         paths,
+		Latency:          latency,
+		GenTime:          latency * 0.6,
+		VerTime:          latency * 0.3,
+		TransferTime:     latency * 0.1,
+		Goodput:          goodput,
+		Iterations:       7,
+		TokensDecoded:    1000,
+		SpecTokens:       200,
+		SpecRetained:     150,
+		RecomputedTokens: 30,
+	}
+}
+
+func TestWrapResultFieldMapping(t *testing.T) {
+	inner := coreResult(40, 512.5,
+		core.FinalPath{BeamID: 0, Steps: 4, Tokens: 900, Answer: 0, Score: 0.8, CompletedAt: 31},
+		core.FinalPath{BeamID: 1, Steps: 5, Tokens: 1100, Answer: 3, Score: 0.4, CompletedAt: 39},
+	)
+	res := wrapResult(inner)
+	if res.Latency != 40 || res.Goodput != 512.5 || res.Iterations != 7 {
+		t.Errorf("headline fields: %+v", res)
+	}
+	if got := res.GenLatency + res.VerLatency + res.TransferLatency; math.Abs(got-res.Latency) > 1e-9 {
+		t.Errorf("latency components sum to %v, want %v", got, res.Latency)
+	}
+	if res.SpecTokens != 200 || res.SpecRetained != 150 || res.RecomputedTokens != 30 {
+		t.Errorf("token counters: %+v", res)
+	}
+	if len(res.Paths) != 2 {
+		t.Fatalf("%d paths, want 2", len(res.Paths))
+	}
+	want := Path{Tokens: 900, Steps: 4, Answer: 0, Score: 0.8, CompletedAt: 31}
+	if res.Paths[0] != want {
+		t.Errorf("path 0 = %+v, want %+v", res.Paths[0], want)
+	}
+}
+
+func TestResultVotingAccessors(t *testing.T) {
+	cases := []struct {
+		name     string
+		paths    []core.FinalPath
+		wantTop1 bool
+		wantPass map[int]bool
+	}{
+		{
+			name: "majority correct",
+			paths: []core.FinalPath{
+				{Answer: 0, Score: 0.6}, {Answer: 0, Score: 0.5}, {Answer: 2, Score: 0.9},
+			},
+			wantTop1: true,
+			wantPass: map[int]bool{1: false, 2: true, 3: true},
+		},
+		{
+			name: "majority wrong but top-scored correct",
+			paths: []core.FinalPath{
+				{Answer: 5, Score: 0.3}, {Answer: 5, Score: 0.2}, {Answer: 0, Score: 0.9},
+			},
+			wantTop1: false,
+			wantPass: map[int]bool{1: true, 3: true},
+		},
+		{
+			name:     "no paths",
+			wantTop1: false,
+			wantPass: map[int]bool{1: false},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := wrapResult(coreResult(10, 100, tc.paths...))
+			if got := res.Top1Correct(); got != tc.wantTop1 {
+				t.Errorf("Top1Correct = %v, want %v", got, tc.wantTop1)
+			}
+			for n, want := range tc.wantPass {
+				if got := res.PassAtN(n); got != want {
+					t.Errorf("PassAtN(%d) = %v, want %v", n, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSummarizeTable(t *testing.T) {
+	correct := coreResult(20, 400, core.FinalPath{Answer: 0, Score: 0.9})
+	wrong := coreResult(60, 200, core.FinalPath{Answer: 4, Score: 0.9})
+	s := Summarize([]*Result{wrapResult(correct), wrapResult(wrong)})
+	if s.Problems != 2 {
+		t.Errorf("Problems = %d, want 2", s.Problems)
+	}
+	if s.Top1Accuracy != 50 {
+		t.Errorf("Top1Accuracy = %v, want 50", s.Top1Accuracy)
+	}
+	if s.MeanLatency != 40 || s.MeanGoodput != 300 {
+		t.Errorf("means: latency %v goodput %v, want 40/300", s.MeanLatency, s.MeanGoodput)
+	}
+	if s.MeanGenTime != 24 || s.MeanVerTime != 12 {
+		t.Errorf("component means: gen %v ver %v, want 24/12", s.MeanGenTime, s.MeanVerTime)
+	}
+	if s.TotalSpec != 400 || s.TotalRetained != 300 {
+		t.Errorf("speculation totals: %d/%d, want 400/300", s.TotalSpec, s.TotalRetained)
+	}
+}
+
+func TestSummarizeEmptyTable(t *testing.T) {
+	s := Summarize(nil)
+	if s != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v, want zero value", s)
+	}
+}

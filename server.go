@@ -45,6 +45,12 @@ type ServedResult struct {
 	UsefulTokens int64
 	// Rejected marks requests shed by admission control.
 	Rejected bool
+	// Tag identifies the request across the stream: its position in the
+	// slice passed to Run (and the problem's position in RunClosedLoop),
+	// carried through unchanged so completion-ordered results can be
+	// correlated with their submissions — the identity the trace
+	// record/replay harness keys on.
+	Tag int
 }
 
 // ServeConfig configures the multi-tenant serving engine on top of a
@@ -127,6 +133,7 @@ func (s *Server) Run(reqs []Request) ([]ServedResult, error) {
 			Arrival:  r.ArrivalTime,
 			Priority: r.Priority,
 			Deadline: r.Deadline,
+			Tag:      i,
 		}
 	}
 	served, err := s.inner.Run(inner)
@@ -225,6 +232,7 @@ func wrapServed(served []core.ServedResult) []ServedResult {
 			Slices:       sv.Slices,
 			UsefulTokens: sv.UsefulTokens,
 			Rejected:     sv.Rejected,
+			Tag:          sv.Tag,
 		}
 	}
 	return out

@@ -1,0 +1,128 @@
+package fasttts_test
+
+// Table tests for the public zero-value contract: Server.Stats and
+// FleetRun.Stats on empty or all-rejected served streams return
+// zero-valued aggregates with every field finite — no NaN/Inf
+// percentiles, goodput, or utilization.
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fasttts"
+)
+
+func assertAllFloatsFinite(t *testing.T, label string, v any) {
+	t.Helper()
+	rv := reflect.ValueOf(v)
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		name := rv.Type().Field(i).Name
+		switch f.Kind() {
+		case reflect.Float64:
+			if x := f.Float(); math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Errorf("%s.%s = %v, want finite", label, name, x)
+			}
+		case reflect.Struct:
+			assertAllFloatsFinite(t, label+"."+name, f.Interface())
+		case reflect.Slice:
+			for j := 0; j < f.Len(); j++ {
+				if f.Index(j).Kind() == reflect.Struct {
+					assertAllFloatsFinite(t, label+"."+name, f.Index(j).Interface())
+				}
+			}
+		}
+	}
+}
+
+func TestServerStatsDegenerateStreams(t *testing.T) {
+	srv, err := fasttts.NewServerWith(fasttts.ServeConfig{
+		Config:     fasttts.Config{NumBeams: 8, Seed: 1},
+		SLOLatency: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rej := func(at float64) fasttts.ServedResult {
+		return fasttts.ServedResult{ArrivalTime: at, StartTime: at, FinishTime: at, Rejected: true}
+	}
+	cases := []struct {
+		name     string
+		served   []fasttts.ServedResult
+		rejected int
+		wantSLO  float64
+	}{
+		{name: "nil stream", wantSLO: 1},
+		{name: "empty stream", served: []fasttts.ServedResult{}, wantSLO: 1},
+		{name: "all rejected", served: []fasttts.ServedResult{rej(1), rej(2)}, rejected: 2, wantSLO: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := srv.Stats(tc.served)
+			want := fasttts.ServeStats{Rejected: tc.rejected, SLOAttainment: tc.wantSLO}
+			if st != want {
+				t.Errorf("got %+v\nwant %+v", st, want)
+			}
+			assertAllFloatsFinite(t, "ServeStats", st)
+		})
+	}
+}
+
+func TestFleetStatsDegenerateStreams(t *testing.T) {
+	// A cluster whose only devices fail before any request arrives sheds
+	// the whole stream (Device -1); an empty stream exercises the
+	// no-events path. Both must produce zero-valued, finite aggregates.
+	cl, err := fasttts.NewCluster(fasttts.ClusterConfig{
+		Devices: []fasttts.DeviceSpec{
+			{Config: fasttts.Config{NumBeams: 8, Seed: 1}, FailAt: 0.001},
+			{Config: fasttts.Config{GPU: "RTX 3070 Ti", NumBeams: 8, Seed: 2}, FailAt: 0.002},
+		},
+		SLOLatency: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := fasttts.LoadDataset("AMC23", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("empty stream", func(t *testing.T) {
+		run, err := cl.Run(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := run.Stats()
+		if st.Served != 0 || st.Rejected != 0 {
+			t.Errorf("served %d rejected %d, want 0/0", st.Served, st.Rejected)
+		}
+		if st.SLOAttainment != 1 {
+			t.Errorf("SLOAttainment = %v, want 1 (vacuous) on an empty stream", st.SLOAttainment)
+		}
+		assertAllFloatsFinite(t, "FleetStats", st)
+	})
+
+	t.Run("all shed by dead fleet", func(t *testing.T) {
+		run, err := cl.Run(fasttts.UniformRequests(ds.Subset(3), 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := run.Stats()
+		if st.Served != 0 {
+			t.Errorf("served %d, want 0 after whole-fleet failure", st.Served)
+		}
+		if st.Rejected == 0 {
+			t.Error("no rejections recorded for a dead fleet")
+		}
+		if st.SLOAttainment != 0 {
+			t.Errorf("SLOAttainment = %v, want 0 when submitted load was all shed", st.SLOAttainment)
+		}
+		for _, r := range run.Results {
+			if !r.Rejected {
+				t.Errorf("request %d served by a dead fleet", r.Tag)
+			}
+		}
+		assertAllFloatsFinite(t, "FleetStats", st)
+	})
+}
