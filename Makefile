@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench cover scenarios bench-regress golden
+.PHONY: all build test lint bench cover scenarios bench-regress bench-perf golden
 
 all: build lint test
 
@@ -36,6 +36,17 @@ scenarios:
 # gate artifact). Fails on any mismatch or missing golden.
 bench-regress:
 	$(GO) run ./cmd/fastttsbench -scenarios -golden testdata/golden -out .
+
+# Fleet-core perf smoke: a reduced fastttsbench -perf sweep emitting
+# bench-smoke/BENCH_core.json (the CI bench-perf artifact; the directory
+# is gitignored so the smoke run never clobbers the committed artifact).
+# The committed BENCH_core.json is the full {1..1024} x {1k..100k} sweep
+# with the pre-refactor baseline merged via -perf-baseline; refresh it
+# when a PR claims a fleet-core speedup.
+bench-perf:
+	$(GO) run ./cmd/fastttsbench -perf -perf-devices 8,64,256 \
+		-perf-requests 1000 -perf-routers rr,least-work,jsq,p2c,prefix \
+		-out bench-smoke
 
 # Regenerate the golden traces after an *intentional* behavior change.
 # Review the resulting diff like code before committing it.

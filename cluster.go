@@ -101,6 +101,11 @@ type FleetStats struct {
 // "single" router reproduces Server's results exactly. Clusters are
 // reusable: every Run builds a fresh fleet, so equal seeds give
 // bit-identical runs.
+//
+// The underlying fleet core dispatches arrivals and failures from event
+// heaps and reads per-device load from O(1) incremental indexes, so
+// Run scales to fleets of hundreds to thousands of devices — scheduling
+// overhead grows with events·log(devices), not events·devices.
 type Cluster struct {
 	devices []cluster.Device
 	router  string

@@ -41,6 +41,13 @@ func main() {
 		scenarios = flag.Bool("scenarios", false, "run the scenario-regression sweep instead of figures")
 		golden    = flag.String("golden", "", "golden-trace directory to check scenario runs against (e.g. testdata/golden)")
 		requests  = flag.Int("requests", 0, "scenario stream length (0 = scenario default)")
+
+		perf         = flag.Bool("perf", false, "run the fleet-core perf sweep instead of figures")
+		perfDevs     = flag.String("perf-devices", "1,8,64,256,1024", "comma-separated fleet sizes for -perf")
+		perfReqs     = flag.String("perf-requests", "1000,10000,100000", "comma-separated stream lengths for -perf")
+		perfRouters  = flag.String("perf-routers", "rr,least-work,jsq,p2c,prefix", "comma-separated routers for -perf")
+		perfLabel    = flag.String("perf-label", "event-heap", "label for the -perf measurement set")
+		perfBaseline = flag.String("perf-baseline", "", "previous BENCH_core.json whose 'current' runs become this report's baseline")
 	)
 	flag.Parse()
 
@@ -53,6 +60,30 @@ func main() {
 		}
 		for _, s := range fasttts.Scenarios() {
 			fmt.Printf("%-12s %s (scenario)\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	if *perf {
+		devList, err := parseIntList(*perfDevs)
+		if err != nil {
+			fatal(fmt.Errorf("-perf-devices: %w", err))
+		}
+		reqList, err := parseIntList(*perfReqs)
+		if err != nil {
+			fatal(fmt.Errorf("-perf-requests: %w", err))
+		}
+		routers, err := parseRouterList(*perfRouters)
+		if err != nil {
+			fatal(fmt.Errorf("-perf-routers: %w", err))
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := runPerfSweep(devList, reqList, routers, *seed, *perfLabel, *perfBaseline, *out); err != nil {
+			fatal(err)
 		}
 		return
 	}

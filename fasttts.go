@@ -75,6 +75,14 @@
 // prompt-prefix KV hit rate. Equal seeds give bit-identical
 // fleet-served streams under every router.
 //
+// The fleet core is event-driven and built to scale: global events
+// dispatch from heaps so each event touches only the devices it
+// concerns, and router load signals are O(1) incremental indexes rather
+// than per-request scans — fleets of hundreds to thousands of devices
+// serve high-rate streams with scheduling overhead that grows with
+// events·log(devices), not events·devices (see README "Performance" and
+// the committed BENCH_core.json trajectory).
+//
 //	cl, _ := fasttts.NewCluster(fasttts.ClusterConfig{
 //		Devices: []fasttts.DeviceSpec{
 //			{Config: fasttts.Config{GPU: "RTX 4090", NumBeams: 16, Seed: 42}},

@@ -6,16 +6,26 @@
 //
 // The fleet runs on the same discrete virtual time as the per-device
 // engines. Devices execute concurrently — each core.Loop owns an
-// independent clock — and the fleet advances them in lockstep between
-// global events (request arrivals and device failures). A request is
-// routed once, at its arrival instant, using the routers' view of live
-// device state; when a device fail-stops, its unfinished requests are
-// requeued to the surviving devices (partial work lost), extending the
-// serving engine's determinism guarantee: equal seeds give bit-identical
-// fleet-served streams under every router.
+// independent clock — and the fleet advances them between global events
+// (request arrivals and device failures) with an event-heap core: a
+// stable min-heap of pending arrivals, a pre-sorted fail-stop schedule,
+// and an indexed min-heap of per-device wake times, so each event steps
+// only the devices it concerns and dispatch is O(log devices) instead of
+// an O(devices) re-scan per event. Router load signals (device clock,
+// pending population, outstanding work) are read from the loops' O(1)
+// incremental indexes and cached in views refreshed only for touched
+// devices, which keeps work-aware routing (least-work, JSQ, P2C, prefix
+// fallback) cheap at fleet scale.
+//
+// A request is routed once, at its arrival instant, using the routers'
+// view of live device state; when a device fail-stops, its unfinished
+// requests are requeued to the surviving devices (partial work lost),
+// extending the serving engine's determinism guarantee: equal seeds give
+// bit-identical fleet-served streams under every router.
 package cluster
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -154,15 +164,29 @@ type prefixAcct struct {
 	hit    bool
 }
 
-// pendingReq is one request awaiting routing.
+// pendingReq is one request awaiting routing. seq preserves insertion
+// order among equal arrival times (stream order, then requeue order).
 type pendingReq struct {
 	req      core.Request
 	requeues int
+	seq      int
 }
 
 // Run serves the open-loop request stream and returns the fleet outcome.
 // Request Tags identify requests across requeues and must be unique
-// (callers typically tag by stream index).
+// (callers typically tag by stream index); Run rejects streams with
+// duplicate tags, which would silently corrupt requeue telemetry and
+// prefix accounting.
+//
+// Run is the fleet's event loop. Global events — request arrivals and
+// device fail-stops — are dispatched from heaps: a stable min-heap of
+// pending arrivals, a pre-sorted fail-stop schedule, and an indexed
+// min-heap of per-device wake times (the earliest horizon at which each
+// device's loop would make progress). At each event only the devices
+// whose wake time falls inside the event window are stepped, and the
+// router's device views are refreshed incrementally for exactly the
+// devices an event touched — O(events·log devices) overall instead of
+// the O(events·devices) full re-scan per event.
 func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 	if f.used {
 		return nil, fmt.Errorf("cluster: Fleet is single-run; build a new Fleet per stream")
@@ -187,11 +211,48 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 		}
 	}
 
-	pending := make([]pendingReq, 0, len(reqs))
-	origArrival := make(map[int]float64) // request tag -> submission time
-	for _, rq := range reqs {
-		pending = insertPending(pending, pendingReq{req: rq})
+	// The submitted stream is sorted once and consumed by index; only
+	// failure requeues — rare, unsorted insertions — go through a heap.
+	// The next arrival event is the smaller of the two heads, stream
+	// first on ties (its seq is always lower).
+	stream := make([]pendingReq, len(reqs))
+	origArrival := make(map[int]float64, len(reqs)) // request tag -> submission time
+	for i, rq := range reqs {
+		if _, dup := origArrival[rq.Tag]; dup {
+			return nil, fmt.Errorf(
+				"cluster: duplicate request tag %d: tags identify requests across failure requeues and must be unique (tag by stream index)",
+				rq.Tag)
+		}
+		stream[i] = pendingReq{req: rq, seq: i}
 		origArrival[rq.Tag] = rq.Arrival
+	}
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].req.Arrival < stream[j].req.Arrival })
+	sp := 0
+	var requeued arrivalHeap
+	nextSeq := len(reqs)
+	// streamFirst reports whether the stream head is the next arrival
+	// (shared by peek and pop so the head-selection rule cannot diverge).
+	streamFirst := func() bool {
+		return sp < len(stream) && (requeued.Len() == 0 || stream[sp].req.Arrival <= requeued[0].req.Arrival)
+	}
+	// nextArrival peeks the earliest pending arrival; popArrival removes
+	// and returns it.
+	nextArrival := func() (pendingReq, bool) {
+		switch {
+		case streamFirst():
+			return stream[sp], true
+		case requeued.Len() > 0:
+			return requeued[0], true
+		}
+		return pendingReq{}, false
+	}
+	popArrival := func() pendingReq {
+		if streamFirst() {
+			pr := stream[sp]
+			sp++
+			return pr
+		}
+		return heap.Pop(&requeued).(pendingReq)
 	}
 
 	out := &Outcome{}
@@ -223,15 +284,71 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 		}
 	}
 
-	// collect steps every alive device's loop to the horizon, gathering
-	// completions in device-index order. A requeued request keeps its
-	// original submission time in the client-facing telemetry: the wait on
-	// its failed device still happened.
+	needWork := false
+	if wa, ok := f.cfg.Router.(WorkAware); ok {
+		needWork = wa.NeedsOutstandingWork()
+	}
+
+	// The router's device views are maintained incrementally: vs holds
+	// one view per alive device in index order, posInVs maps a device
+	// index to its position in vs (-1 once failed). refreshView is O(1)
+	// and called only for devices an event actually touched.
+	vs := make([]DeviceView, len(devs))
+	posInVs := make([]int, len(devs))
+	for i, d := range devs {
+		vs[i] = DeviceView{Index: i, Speed: d.speed}
+		posInVs[i] = i
+	}
+	refreshView := func(dev int) {
+		p := posInVs[dev]
+		if p < 0 {
+			return
+		}
+		v := &vs[p]
+		d := devs[dev]
+		v.Now = d.loop.Now()
+		v.Pending = d.loop.Pending()
+		if needWork {
+			v.OutstandingWork = d.loop.OutstandingWork()
+		}
+	}
+	dropView := func(dev int) {
+		p := posInVs[dev]
+		if p < 0 {
+			return
+		}
+		copy(vs[p:], vs[p+1:])
+		vs = vs[:len(vs)-1]
+		posInVs[dev] = -1
+		for q := p; q < len(vs); q++ {
+			posInVs[vs[q].Index] = q
+		}
+	}
+
+	// wake tracks, per device, the earliest horizon at which its loop
+	// would make progress; devices with nothing to do are absent and cost
+	// nothing per event.
+	wake := newWakeHeap(len(devs))
+	updateWake := func(dev int) {
+		if at, ok := devs[dev].loop.Wake(); ok {
+			wake.update(dev, at)
+		} else {
+			wake.remove(dev)
+		}
+	}
+
+	// collect steps the devices whose wake time falls within the horizon,
+	// in device-index order, gathering completions. Untouched devices are
+	// provably no-ops: their loops would neither run a slice, admit, nor
+	// jump the clock, so their state and views are already current. A
+	// requeued request keeps its original submission time in the
+	// client-facing telemetry: the wait on its failed device still
+	// happened.
+	var dueBuf []int
 	collect := func(horizon float64) error {
-		for i, d := range devs {
-			if !d.alive {
-				continue
-			}
+		dueBuf = wake.popDue(horizon, dueBuf[:0])
+		for _, i := range dueBuf {
+			d := devs[i]
 			served, err := d.loop.StepTo(horizon)
 			if err != nil {
 				return fmt.Errorf("cluster: device %d: %w", i, err)
@@ -253,48 +370,17 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 					d.tokens += sv.UsefulTokens
 				}
 			}
+			updateWake(i)
+			refreshView(i)
 		}
 		return nil
 	}
 
-	needWork := false
-	if wa, ok := f.cfg.Router.(WorkAware); ok {
-		needWork = wa.NeedsOutstandingWork()
-	}
-	views := func() []DeviceView {
-		vs := make([]DeviceView, 0, len(devs))
-		for i, d := range devs {
-			if !d.alive {
-				continue
-			}
-			v := DeviceView{
-				Index:   i,
-				Now:     d.loop.Now(),
-				Pending: d.loop.Pending(),
-				Speed:   d.speed,
-			}
-			if needWork {
-				v.OutstandingWork = d.loop.OutstandingWork()
-			}
-			vs = append(vs, v)
-		}
-		return vs
-	}
-
-	// nextFail returns the earliest unprocessed fail-stop event.
-	nextFail := func() (float64, int, bool) {
-		t, idx := 0.0, -1
-		for i, d := range devs {
-			if d.alive && d.spec.FailAt > 0 && (idx < 0 || d.spec.FailAt < t) {
-				t, idx = d.spec.FailAt, i
-			}
-		}
-		return t, idx, idx >= 0
-	}
-
+	fails := failSchedule(devs)
+	fp := 0
 	for {
-		ft, fi, haveFail := nextFail()
-		haveArrival := len(pending) > 0
+		haveFail := fp < len(fails)
+		head, haveArrival := nextArrival()
 		if !haveFail && !haveArrival {
 			break
 		}
@@ -302,29 +388,32 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 		// Failures at an instant take effect before arrivals at the same
 		// instant: a request landing exactly at the fail time is routed to
 		// the survivors.
-		if haveFail && (!haveArrival || ft <= pending[0].req.Arrival) {
+		if haveFail && (!haveArrival || fails[fp].at <= head.req.Arrival) {
+			ft, fi := fails[fp].at, fails[fp].dev
+			fp++
 			if err := collect(ft); err != nil {
 				return nil, err
 			}
 			d := devs[fi]
 			d.alive = false
 			d.failedAt = ft
+			wake.remove(fi)
+			dropView(fi)
 			for _, rq := range d.loop.Fail() {
 				rq.Arrival = ft
 				requeues[rq.Tag]++
 				out.Requeues++
-				pending = insertPending(pending, pendingReq{req: rq, requeues: requeues[rq.Tag]})
+				heap.Push(&requeued, pendingReq{req: rq, requeues: requeues[rq.Tag], seq: nextSeq})
+				nextSeq++
 			}
 			continue
 		}
 
-		pr := pending[0]
-		pending = pending[1:]
+		pr := popArrival()
 		at := pr.req.Arrival
 		if err := collect(at); err != nil {
 			return nil, err
 		}
-		vs := views()
 		if len(vs) == 0 {
 			// Lost capacity: the whole fleet is dead. Shed the request at
 			// this instant, reported against its original submission time.
@@ -365,6 +454,8 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 			tokens: int64(pr.req.Problem.PromptTokens), hit: resident,
 		}
 		d.loop.Push(pr.req)
+		updateWake(di)
+		refreshView(di)
 	}
 
 	// No more global events: run every surviving device to completion.
@@ -407,16 +498,4 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 // same problem share the prompt's radix-cache path.
 func prefixKey(p *workload.Problem) string {
 	return fmt.Sprintf("%s/%d", p.Dataset, p.Index)
-}
-
-// insertPending inserts pr at its arrival-sorted position, after equal
-// arrivals (stable).
-func insertPending(pending []pendingReq, pr pendingReq) []pendingReq {
-	pos := sort.Search(len(pending), func(i int) bool {
-		return pending[i].req.Arrival > pr.req.Arrival
-	})
-	pending = append(pending, pendingReq{})
-	copy(pending[pos+1:], pending[pos:])
-	pending[pos] = pr
-	return pending
 }

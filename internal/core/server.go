@@ -73,6 +73,7 @@ type session struct {
 	start   float64
 	work    float64 // device seconds consumed
 	est     float64 // estimated total service demand, token units
+	lastRem float64 // remaining-work estimate as of the last slice (load index term)
 	slices  int
 	done    bool
 }
@@ -127,6 +128,9 @@ func (s *Server) RunClosedLoop(probs []*workload.Problem, cl workload.ClosedLoop
 		return rq, true
 	}
 	l := &Loop{s: s, queue: queue, feeder: feeder, scale: 1}
+	for _, rq := range queue {
+		l.queuedWork += s.estimateWork(rq.Problem)
+	}
 	return l.StepTo(NoHorizon)
 }
 
@@ -143,7 +147,7 @@ type Loop struct {
 	s        *Server
 	queue    []Request
 	feeder   func(finish float64) (Request, bool)
-	sessions []*session
+	sessions []*session // live (admitted, unfinished) sessions in admission order
 	now      float64
 	next     int // next queue index to admit
 	inFlight int
@@ -151,6 +155,34 @@ type Loop struct {
 	scale    float64 // wall seconds per nominal device second (straggler factor)
 	busy     float64 // wall seconds spent executing slices (lost work included)
 	failed   bool
+
+	// Incrementally maintained load indexes: liveWork is the summed
+	// remaining-work estimate of the live sessions, queuedWork the summed
+	// demand estimate of the unadmitted arrivals. Updated on push, admit,
+	// slice, finish, and fail, so OutstandingWork is O(1) instead of an
+	// O(in-flight + queued) scan per call.
+	liveWork   float64
+	queuedWork float64
+
+	// probe is the per-slice speculation-preemption state read by probeFn,
+	// a single closure reused across slices so the hot path allocates
+	// nothing per slice.
+	probe   preemptProbe
+	probeFn func(local float64) bool
+
+	candBuf []sched.ServeRequest // reused policy-view buffer (per-slice)
+}
+
+// preemptProbe is the §4.1.2 preemption condition of the slice in
+// progress: speculation stops when another request is runnable or when
+// the pending boundary (next arrival or fleet event horizon) lands
+// mid-slice.
+type preemptProbe struct {
+	othersWaiting bool
+	pending       float64 // earliest pending boundary; < 0 means none
+	sliceStart    float64 // loop clock at slice start
+	localStart    float64 // solver clock at slice start
+	scale         float64 // straggler factor of the slice
 }
 
 // NewLoop returns a steppable loop over the given open-loop requests
@@ -158,7 +190,11 @@ type Loop struct {
 func (s *Server) NewLoop(reqs []Request) *Loop {
 	queue := append([]Request(nil), reqs...)
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
-	return &Loop{s: s, queue: queue, scale: 1}
+	l := &Loop{s: s, queue: queue, scale: 1}
+	for _, rq := range queue {
+		l.queuedWork += s.estimateWork(rq.Problem)
+	}
+	return l
 }
 
 // SetScale sets the loop's straggler factor: every device slice consumes
@@ -176,6 +212,8 @@ func (l *Loop) SetScale(f float64) {
 // later than the loop's clock is admitted on the next StepTo.
 func (l *Loop) Push(rq Request) {
 	l.queue = insertByArrival(l.queue, l.next, rq)
+	l.queuedWork += l.s.estimateWork(rq.Problem)
+	l.reanchorWork()
 }
 
 // Now returns the loop's virtual clock. It advances only while slices
@@ -200,18 +238,33 @@ func (l *Loop) Pending() int { return l.inFlight + l.Queued() }
 // OutstandingWork returns the estimated remaining service demand of the
 // device in token units: the remaining-work estimates of in-flight
 // sessions plus the full demand estimate of every queued arrival — the
-// least-outstanding-work router's load signal.
+// least-outstanding-work router's load signal. It reads the loop's
+// incrementally maintained load indexes, so it is O(1) — no per-call
+// scan of sessions or queue.
 func (l *Loop) OutstandingWork() float64 {
-	var w float64
-	for _, c := range l.sessions {
-		if !c.done {
-			w += l.s.viewOf(c).RemainingWork
-		}
-	}
-	for _, rq := range l.queue[l.next:] {
-		w += l.s.estimateWork(rq.Problem)
+	w := l.liveWork + l.queuedWork
+	if w < 0 {
+		return 0 // guard against accumulated float cancellation near empty
 	}
 	return w
+}
+
+// reanchorWork pins the load indexes back to exact values at the cheap
+// anchor states (zero or one term), shedding the float drift that
+// incremental add/remove accumulates. Called after every index update.
+func (l *Loop) reanchorWork() {
+	switch {
+	case l.inFlight == 0:
+		l.liveWork = 0
+	case l.inFlight == 1 && len(l.sessions) == 1:
+		l.liveWork = l.sessions[0].lastRem
+	}
+	switch qn := len(l.queue) - l.next; {
+	case qn == 0:
+		l.queuedWork = 0
+	case qn == 1:
+		l.queuedWork = l.s.estimateWork(l.queue[l.next].Problem)
+	}
 }
 
 // Failed reports whether Fail has been called.
@@ -242,7 +295,29 @@ func (l *Loop) Fail() []Request {
 	}
 	out = append(out, l.queue[l.next:]...)
 	l.queue = l.queue[:l.next]
+	l.liveWork, l.queuedWork = 0, 0
 	return out
+}
+
+// Wake returns the earliest horizon at which StepTo would make progress
+// (execute a slice, admit an arrival, or jump the clock to one), and
+// false when the loop is drained or failed — the fleet event heap's
+// per-device key.
+func (l *Loop) Wake() (float64, bool) {
+	if l.failed {
+		return 0, false
+	}
+	hasArrival := l.next < len(l.queue)
+	if l.inFlight > 0 {
+		if hasArrival && l.queue[l.next].Arrival < l.now {
+			return l.queue[l.next].Arrival, true
+		}
+		return l.now, true
+	}
+	if hasArrival {
+		return l.queue[l.next].Arrival, true
+	}
+	return 0, false
 }
 
 // StepTo advances the loop until its clock reaches the horizon or it runs
@@ -263,6 +338,17 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		}
 		if rq, ok := l.feeder(at); ok {
 			l.queue = insertByArrival(l.queue, l.next, rq)
+			l.queuedWork += l.s.estimateWork(rq.Problem)
+			l.reanchorWork()
+		}
+	}
+	if l.probeFn == nil {
+		l.probeFn = func(local float64) bool {
+			p := &l.probe
+			if p.othersWaiting {
+				return true
+			}
+			return p.pending >= 0 && p.sliceStart+(local-p.localStart)*p.scale >= p.pending
 		}
 	}
 	for !l.failed {
@@ -270,9 +356,12 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		for l.next < len(l.queue) && l.queue[l.next].Arrival <= l.now {
 			rq := l.queue[l.next]
 			l.next++
-			c := &session{req: rq, id: l.nextID, est: l.s.estimateWork(rq.Problem)}
+			est := l.s.estimateWork(rq.Problem)
+			l.queuedWork -= est
+			c := &session{req: rq, id: l.nextID, est: est}
 			l.nextID++
 			if !l.s.pol.Admit(l.s.viewOf(c), l.now, l.inFlight) {
+				l.reanchorWork()
 				out = append(out, ServedResult{
 					Arrival: rq.Arrival, Start: rq.Arrival, Finish: rq.Arrival,
 					Rejected: true, Tag: rq.Tag,
@@ -282,8 +371,13 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 			}
 			l.sessions = append(l.sessions, c)
 			l.inFlight++
+			c.lastRem = l.s.remainingWork(c)
+			l.liveWork += c.lastRem
+			l.reanchorWork()
 		}
-		live := l.runnable()
+		// Every session is live (completed ones are dropped eagerly), so
+		// the session list itself is the runnable set — no per-slice copy.
+		live := l.sessions
 		if len(live) == 0 {
 			if l.next < len(l.queue) {
 				na := l.queue[l.next].Arrival
@@ -300,8 +394,12 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 			return out, nil
 		}
 
-		// Policy picks the slice owner among the runnable requests.
-		cands := make([]sched.ServeRequest, len(live))
+		// Policy picks the slice owner among the runnable requests. The
+		// candidate views live in a buffer reused across slices.
+		if cap(l.candBuf) < len(live) {
+			l.candBuf = make([]sched.ServeRequest, 0, max(len(live), 2*cap(l.candBuf)))
+		}
+		cands := l.candBuf[:len(live)]
 		for i, c := range live {
 			cands[i] = l.s.viewOf(c)
 		}
@@ -325,7 +423,6 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		// queue is empty. In multi-tenant terms the queue is non-empty when
 		// another request is runnable, or when the next unadmitted arrival
 		// (or the fleet's next event boundary) lands mid-slice.
-		othersWaiting := len(live) > 1
 		pending := -1.0
 		if l.next < len(l.queue) {
 			pending = l.queue[l.next].Arrival
@@ -333,14 +430,14 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		if horizon >= 0 && (pending < 0 || horizon < pending) {
 			pending = horizon
 		}
-		sliceStart, localStart := l.now, c.solver.clk.Now()
-		scale := l.scale
-		c.solver.preempt = func(local float64) bool {
-			if othersWaiting {
-				return true
-			}
-			return pending >= 0 && sliceStart+(local-localStart)*scale >= pending
+		l.probe = preemptProbe{
+			othersWaiting: len(live) > 1,
+			pending:       pending,
+			sliceStart:    l.now,
+			localStart:    c.solver.clk.Now(),
+			scale:         l.scale,
 		}
+		c.solver.preempt = l.probeFn
 		if !c.solver.begun {
 			c.solver.begin() // prompt prefill charges into the first slice
 		}
@@ -348,7 +445,7 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		if err := c.solver.stepOnce(); err != nil {
 			return out, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
 		}
-		delta := (c.solver.clk.Now() - localStart) * scale
+		delta := (c.solver.clk.Now() - l.probe.localStart) * l.scale
 		l.now += delta
 		l.busy += delta
 		c.work += delta
@@ -362,6 +459,8 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 			c.done = true
 			l.inFlight--
 			l.dropSession(c)
+			l.liveWork -= c.lastRem
+			l.reanchorWork()
 			out = append(out, ServedResult{
 				Result:  res,
 				Arrival: c.req.Arrival, Start: c.start, Finish: l.now,
@@ -372,19 +471,14 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 				Tag:          c.req.Tag,
 			})
 			feed(l.now)
+		} else {
+			rem := l.s.remainingWork(c)
+			l.liveWork += rem - c.lastRem
+			c.lastRem = rem
+			l.reanchorWork()
 		}
 	}
 	return out, nil
-}
-
-func (l *Loop) runnable() []*session {
-	live := make([]*session, 0, len(l.sessions))
-	for _, c := range l.sessions {
-		if !c.done {
-			live = append(live, c)
-		}
-	}
-	return live
 }
 
 // dropSession prunes a completed session so the runnable and
@@ -400,28 +494,36 @@ func (l *Loop) dropSession(c *session) {
 
 // insertByArrival inserts rq into the unadmitted tail queue[from:] at its
 // arrival-sorted position (after equal arrivals, preserving feed order).
+// The position is found by binary search, so pushing a large routed
+// stream is O(n log n) instead of the quadratic backward scan.
 func insertByArrival(queue []Request, from int, rq Request) []Request {
-	pos := len(queue)
-	for pos > from && queue[pos-1].Arrival > rq.Arrival {
-		pos--
-	}
+	pos := from + sort.Search(len(queue)-from, func(i int) bool {
+		return queue[from+i].Arrival > rq.Arrival
+	})
 	queue = append(queue, Request{})
 	copy(queue[pos+1:], queue[pos:])
 	queue[pos] = rq
 	return queue
 }
 
-// viewOf projects a session into the policy's read-only view.
-func (s *Server) viewOf(c *session) sched.ServeRequest {
+// remainingWork is a session's remaining-demand estimate: the admission
+// estimate minus decoded tokens, floored so a started request always has
+// some residual demand (SJF never starves it behind an estimate gone
+// negative). Single source of truth for the policy views and the loop's
+// incremental load index.
+func (s *Server) remainingWork(c *session) float64 {
 	remaining := c.est
 	if c.solver != nil {
 		remaining -= float64(c.solver.gen.DecodedTokens)
 	}
-	// Floor: a started request always has some residual demand, so SJF
-	// never starves it behind an estimate gone negative.
 	if floor := c.est * 0.02; remaining < floor {
 		remaining = floor
 	}
+	return remaining
+}
+
+// viewOf projects a session into the policy's read-only view.
+func (s *Server) viewOf(c *session) sched.ServeRequest {
 	return sched.ServeRequest{
 		ID:            c.id,
 		Arrival:       c.req.Arrival,
@@ -430,7 +532,7 @@ func (s *Server) viewOf(c *session) sched.ServeRequest {
 		Started:       c.started,
 		Start:         c.start,
 		WorkDone:      c.work,
-		RemainingWork: remaining,
+		RemainingWork: s.remainingWork(c),
 	}
 }
 

@@ -106,7 +106,7 @@ func newSolver(cfg Config, p *workload.Problem, preempt func(float64) bool) (*so
 	if err != nil {
 		return nil, err
 	}
-	root := rng.New(cfg.Seed).Child(fmt.Sprintf("%s/%d", p.Dataset, p.Index))
+	root := rng.New(cfg.Seed).ChildN(p.Dataset, p.Index)
 	spec := p.Spec()
 	s := &solver{
 		cfg:       cfg,
@@ -167,9 +167,9 @@ func (s *solver) begin() {
 			subtree: pol.InitialSubtree(i),
 			tokens:  append([]kvcache.Token(nil), prompt...),
 			lineage: []sched.NodeRef{{Node: promptNode, Tokens: s.p.PromptTokens}},
-			r:       s.root.Child(fmt.Sprintf("beam/%d", id)),
-			obsR:    s.root.Child(fmt.Sprintf("obs/%d", id)),
-			specR:   s.root.Child(fmt.Sprintf("spec/%d", id)),
+			r:       s.root.ChildN("beam", id),
+			obsR:    s.root.ChildN("obs", id),
+			specR:   s.root.ChildN("spec", id),
 		})
 	}
 	s.maxIters = s.p.Spec().MaxSteps + 4
@@ -867,9 +867,9 @@ func (s *solver) selectAndBranch() {
 			id := s.nextBeam
 			s.nextBeam++
 			child := b.child(id,
-				s.root.Child(fmt.Sprintf("beam/%d", id)),
-				s.root.Child(fmt.Sprintf("obs/%d", id)),
-				s.root.Child(fmt.Sprintf("spec/%d", id)))
+				s.root.ChildN("beam", id),
+				s.root.ChildN("obs", id),
+				s.root.ChildN("spec", id))
 			child.verifiedLen = len(child.tokens)
 			if s.cfg.Opts.Speculative {
 				s.seedChildPending(b, child, c)

@@ -46,6 +46,16 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return sortedPercentile(sorted, p)
+}
+
+// sortedPercentile is Percentile over an already-sorted slice: the
+// nearest-rank index, no copy, no re-sort. Aggregations that need
+// several percentiles of one sample sort once and index repeatedly.
+func sortedPercentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -104,10 +114,13 @@ func SummarizeServe(samples []ServeSample, sloLatency float64) ServeStats {
 		return s
 	}
 	s.MeanQueueDelay = Mean(queued)
-	s.MeanLatency = Mean(wall)
-	s.P50Latency = Percentile(wall, 50)
-	s.P95Latency = Percentile(wall, 95)
-	s.P99Latency = Percentile(wall, 99)
+	s.MeanLatency = Mean(wall) // before sorting: the sum is order-sensitive
+	// One sort serves all three percentiles; wall is local, so sorting in
+	// place is safe and avoids Percentile's per-call copy + re-sort.
+	sort.Float64s(wall)
+	s.P50Latency = sortedPercentile(wall, 50)
+	s.P95Latency = sortedPercentile(wall, 95)
+	s.P99Latency = sortedPercentile(wall, 99)
 	if s.Makespan > 0 {
 		s.Goodput = float64(tokens) / s.Makespan
 	}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fasttts/internal/rng"
 	"math"
 	"reflect"
 	"testing"
@@ -132,5 +133,38 @@ func assertFinite(t *testing.T, v any) {
 				t.Errorf("field %s = %v, want finite", rv.Type().Field(i).Name, x)
 			}
 		}
+	}
+}
+
+// TestSummarizeServePercentilesBitIdentical pins the single-sort
+// percentile computation to the reference spelling it replaced: three
+// independent Percentile calls, each copying and re-sorting the wall
+// latencies. The aggregates must agree bit-for-bit — golden traces
+// record these values, so "faster" must not mean "different".
+func TestSummarizeServePercentilesBitIdentical(t *testing.T) {
+	r := rng.New(99)
+	samples := make([]ServeSample, 257) // odd, non-power-of-two length
+	var wall []float64
+	for i := range samples {
+		arr := float64(i) * 0.25
+		dur := 0.5 + 40*r.Float64()
+		rejected := i%11 == 3
+		samples[i] = ServeSample{
+			Arrival: arr, Start: arr + r.Float64(), Finish: arr + dur,
+			Tokens: int64(i), Rejected: rejected,
+		}
+		if !rejected {
+			wall = append(wall, samples[i].Finish-samples[i].Arrival)
+		}
+	}
+	st := SummarizeServe(samples, 30)
+	if got, want := st.P50Latency, Percentile(wall, 50); got != want {
+		t.Errorf("P50 = %v, reference Percentile = %v", got, want)
+	}
+	if got, want := st.P95Latency, Percentile(wall, 95); got != want {
+		t.Errorf("P95 = %v, reference Percentile = %v", got, want)
+	}
+	if got, want := st.P99Latency, Percentile(wall, 99); got != want {
+		t.Errorf("P99 = %v, reference Percentile = %v", got, want)
 	}
 }

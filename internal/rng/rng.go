@@ -9,41 +9,62 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand/v2"
+	"strconv"
 )
+
+// FNV-1a 64-bit constants (hash/fnv), inlined so stream derivation needs
+// no hasher allocation and no materialized path strings: because FNV-1a
+// consumes bytes sequentially, each stream carries its hash state and a
+// child extends it with just the separator and label bytes — the exact
+// hash the old full-path rehash produced, at O(label) cost.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	return (h ^ uint64(b)) * fnvPrime64
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
 
 // Stream is a deterministic random stream. The zero value is not usable;
 // construct streams with New or Stream.Child.
 type Stream struct {
-	seed uint64
-	path string
-	rand *rand.Rand
+	seed  uint64
+	hash  uint64  // FNV-1a state over seed bytes + label path
+	label string  // this stream's own path segment ("" for the root)
+	up    *Stream // parent, for lazy Path reconstruction
+	pcg   rand.PCG
+	rand  *rand.Rand
 }
 
 // New returns the root stream for the given seed.
 func New(seed uint64) *Stream {
-	return derive(seed, "")
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(seed>>(8*i)))
+	}
+	return fromState(seed, h, "", nil)
 }
 
-func derive(seed uint64, path string) *Stream {
-	h := fnv.New64a()
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(seed >> (8 * i))
-	}
-	h.Write(b[:])
-	h.Write([]byte(path))
-	s1 := h.Sum64()
-	// Second, independent word for the PCG state.
-	h.Write([]byte{0x9e, 0x37, 0x79, 0xb9})
-	s2 := h.Sum64()
-	return &Stream{
-		seed: seed,
-		path: path,
-		rand: rand.New(rand.NewPCG(s1, s2)),
-	}
+// fromState finishes a derivation: h is the FNV-1a state over the seed
+// bytes and full label path. A second, independent word is drawn for the
+// PCG state by extending the hash with a fixed suffix.
+func fromState(seed, h uint64, label string, up *Stream) *Stream {
+	s1 := h
+	s2 := fnvByte(fnvByte(fnvByte(fnvByte(h, 0x9e), 0x37), 0x79), 0xb9)
+	s := &Stream{seed: seed, hash: h, label: label, up: up}
+	s.pcg = *rand.NewPCG(s1, s2)
+	s.rand = rand.New(&s.pcg)
+	return s
 }
 
 // Child derives an independent stream for the given label. Children with
@@ -51,11 +72,31 @@ func derive(seed uint64, path string) *Stream {
 // yields the same stream regardless of how many values the parent has
 // consumed.
 func (s *Stream) Child(label string) *Stream {
-	return derive(s.seed, s.path+"/"+label)
+	return fromState(s.seed, fnvString(fnvByte(s.hash, '/'), label), label, s)
 }
 
-// Path returns the label path of the stream (for diagnostics).
-func (s *Stream) Path() string { return s.path }
+// ChildN is Child(label + "/" + decimal n) without building the label
+// string — the allocation-free spelling of the hot indexed derivations
+// (per-problem, per-beam, per-request streams).
+func (s *Stream) ChildN(label string, n int) *Stream {
+	h := fnvString(fnvByte(s.hash, '/'), label)
+	h = fnvByte(h, '/')
+	var buf [20]byte
+	for _, b := range strconv.AppendInt(buf[:0], int64(n), 10) {
+		h = fnvByte(h, b)
+	}
+	return fromState(s.seed, h, label, s)
+}
+
+// Path returns the label path of the stream (for diagnostics). It is
+// reconstructed lazily from the parent chain; indexed segments from
+// ChildN omit the index.
+func (s *Stream) Path() string {
+	if s.up == nil {
+		return s.label
+	}
+	return s.up.Path() + "/" + s.label
+}
 
 // Float64 returns a uniform value in [0, 1).
 func (s *Stream) Float64() float64 { return s.rand.Float64() }

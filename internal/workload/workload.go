@@ -120,7 +120,7 @@ func NewDataset(spec DatasetSpec, root *rng.Stream) *Dataset {
 	ds := &Dataset{Spec: spec}
 	r := root.Child("dataset/" + spec.Name)
 	for i := 0; i < spec.Problems; i++ {
-		pr := r.Child(fmt.Sprintf("problem/%d", i))
+		pr := r.ChildN("problem", i)
 		ds.Problems = append(ds.Problems, &Problem{
 			Dataset:      spec.Name,
 			Index:        i,
