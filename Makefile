@@ -39,14 +39,24 @@ bench-regress:
 
 # Fleet-core perf smoke: a reduced fastttsbench -perf sweep emitting
 # bench-smoke/BENCH_core.json (the CI bench-perf artifact; the directory
-# is gitignored so the smoke run never clobbers the committed artifact).
+# is gitignored so the smoke run never clobbers the committed artifact),
+# followed by the controller-overhead cells (fleet step cost with the
+# elastic control plane on vs off) merged into the same file.
 # The committed BENCH_core.json is the full {1..1024} x {1k..100k} sweep
-# with the pre-refactor baseline merged via -perf-baseline; refresh it
-# when a PR claims a fleet-core speedup.
+# with the pre-refactor baseline merged via -perf-baseline, plus
+# controller-overhead cells at 256/1024 devices from
+#   fastttsbench -perf -perf-controller -perf-devices 256,1024 \
+#       -perf-requests 10000 -perf-routers rr,least-work \
+#       -perf-merge BENCH_core.json -out .
+# Refresh it when a PR claims a fleet-core speedup or touches the
+# control plane's hot path.
 bench-perf:
 	$(GO) run ./cmd/fastttsbench -perf -perf-devices 8,64,256 \
 		-perf-requests 1000 -perf-routers rr,least-work,jsq,p2c,prefix \
 		-out bench-smoke
+	$(GO) run ./cmd/fastttsbench -perf -perf-controller -perf-devices 8,64,256 \
+		-perf-requests 1000 -perf-routers rr,least-work \
+		-perf-merge bench-smoke/BENCH_core.json -out bench-smoke
 
 # Regenerate the golden traces after an *intentional* behavior change.
 # Review the resulting diff like code before committing it.

@@ -2,18 +2,30 @@ package fasttts
 
 import (
 	"fmt"
+	"math"
 
 	"fasttts/internal/cluster"
+	"fasttts/internal/control"
 	"fasttts/internal/core"
 	"fasttts/internal/metrics"
 	"fasttts/internal/sched"
 )
 
-// DeviceSpec describes one member of a heterogeneous edge fleet: a full
-// deployment Config (GPU, model pair, search algorithm, seed) plus the
-// device's serving policy and fault-injection knobs.
+// DeviceSpec describes one member (or a homogeneous group of members) of
+// a heterogeneous edge fleet: a full deployment Config (GPU, model pair,
+// search algorithm, seed) plus the device's serving policy and
+// fault-injection knobs.
 type DeviceSpec struct {
 	Config
+	// Name labels the device in telemetry and errors. Optional; non-empty
+	// names must be unique across the fleet (and the warm pool). Unnamed
+	// devices get "device-N" by fleet index; a Count > 1 group expands to
+	// "name#0", "name#1", ...
+	Name string
+	// Count replicates this spec into that many identical fleet members
+	// (each gets its own engine seeded from Config.Seed + replica). The
+	// zero value means 1; negative counts are rejected.
+	Count int
 	// Policy names the device's admission/ordering discipline ("fcfs",
 	// "sjf", "priority", "deadline"); empty means fcfs.
 	Policy string
@@ -21,13 +33,41 @@ type DeviceSpec struct {
 	// admitted unfinished requests on this device.
 	MaxInFlight int
 	// Slowdown is the straggler factor: wall-clock stretch of every
-	// device slice (thermal throttling, background load). Values below 1
-	// mean none.
+	// device slice (thermal throttling, background load). 0 (the zero
+	// value) and 1 mean none; negative or NaN values are rejected.
 	Slowdown float64
 	// FailAt, when positive, fail-stops the device at that fleet time:
 	// it finishes its in-progress slice, then all its unfinished requests
 	// are requeued to the surviving devices (partial work lost).
 	FailAt float64
+}
+
+// AutoscaleConfig attaches the elastic control plane to a cluster: a
+// feedback controller observes the fleet at a fixed interval and
+// actuates warm-pool joins, drain-and-remove scale-downs, and
+// compute-budget tiers. See the package docs' "Elastic serving" section.
+type AutoscaleConfig struct {
+	// Policy names the controller: "static" (observe only), "threshold"
+	// (hysteresis scaling on queue delay and utilization), "pid"
+	// (PID-style queue-delay tracking), or "budget" (vertical-only
+	// compute-budget governor). Empty means static.
+	Policy string
+	// Interval is the control period in fleet seconds; required > 0.
+	Interval float64
+	// WarmPool holds device templates scale-ups instantiate (round-robin;
+	// a drained instance returns its slot). Templates must not carry
+	// FailAt. Count expands templates exactly like fleet devices.
+	WarmPool []DeviceSpec
+	// WarmupDelay is how long after a scale-up decision the new device
+	// becomes routable (model load and cache prefill); 0 joins instantly.
+	WarmupDelay float64
+	// MinDevices floors the routable device count drains may reach
+	// (default 1); MaxDevices caps routable+warming devices (default
+	// fleet size + warm-pool size).
+	MinDevices, MaxDevices int
+	// MaxTier is the deepest compute-budget degradation tier (each tier
+	// halves the effective search width); 0 selects the default of 2.
+	MaxTier int
 }
 
 // ClusterConfig configures a fleet of heterogeneous edge devices serving
@@ -43,12 +83,16 @@ type ClusterConfig struct {
 	//	p2c         power-of-two-choices on expected drain time
 	//	prefix      prefix-affinity with load fallback (§4.2, inter-device)
 	Router string
-	// Seed drives the router's randomness (p2c); device engines draw from
-	// their own Config seeds. Equal seeds give bit-identical fleet runs.
+	// Seed drives the router's randomness (p2c) and the controller's;
+	// device engines draw from their own Config seeds. Equal seeds give
+	// bit-identical fleet runs, controller actions included.
 	Seed uint64
 	// SLOLatency is the per-request wall-latency target in seconds used
-	// by FleetRun.Stats; 0 disables SLO accounting.
+	// by FleetRun.Stats and the controller's SLO-attainment signal; 0
+	// disables SLO accounting.
 	SLOLatency float64
+	// Autoscale, when non-nil, attaches the elastic control plane.
+	Autoscale *AutoscaleConfig
 }
 
 // FleetResult is one fleet-served request: the usual ServedResult plus
@@ -63,18 +107,58 @@ type FleetResult struct {
 	Requeues int
 }
 
+// ScalingAction is one applied controller decision in a fleet run's
+// action log.
+type ScalingAction struct {
+	// Time is the control tick the action was decided at.
+	Time float64
+	// Action is "scale-up", "scale-down", or "set-tier".
+	Action string
+	// Requested is the controller's asked-for magnitude; Applied is what
+	// the fleet actuated after clamping (the resulting tier for
+	// "set-tier").
+	Requested, Applied int
+	// Devices lists the fleet indexes the action touched.
+	Devices []int
+}
+
+// ControlStats summarizes the elastic control plane's activity over a
+// fleet run.
+type ControlStats struct {
+	// Ticks counts control intervals observed.
+	Ticks int
+	// ScaleUps / ScaleDowns count devices added from the warm pool /
+	// drained out; TierChanges counts applied budget-tier moves.
+	ScaleUps, ScaleDowns, TierChanges int
+	// FinalTier is the budget tier in effect when the run ended;
+	// PeakDevices the maximum concurrently routable device count;
+	// DegradedRequests how many requests were served with a narrowed
+	// search width.
+	FinalTier, PeakDevices, DegradedRequests int
+}
+
 // FleetDeviceStats aggregates one device's run.
 type FleetDeviceStats struct {
 	Device int
+	// Name is the device's label (DeviceSpec.Name, "device-N", or
+	// "warm:name+J" for the controller's J-th warm-pool instance).
+	Name   string
 	Served int
 	Tokens int64
 	// BusyTime is wall-clock seconds spent executing slices (lost work
-	// included); Utilization is BusyTime over the device's fleet
-	// lifetime; Goodput is useful tokens per lifetime second.
+	// included); Utilization is BusyTime over the device's *live*
+	// interval (join to fail/drain/makespan); Goodput is useful tokens
+	// per live second.
 	BusyTime    float64
 	Utilization float64
 	Goodput     float64
+	// LiveStart is when the device became routable (0 for founding
+	// members); LiveSeconds is the length of its live interval.
+	LiveStart   float64
+	LiveSeconds float64
 	Failed      bool
+	// Drained marks devices the control plane drained out mid-run.
+	Drained bool
 }
 
 // FleetStats aggregates a fleet-served request stream: the server-level
@@ -83,7 +167,9 @@ type FleetStats struct {
 	ServeStats
 	PerDevice []FleetDeviceStats
 	// ImbalanceCV is the load-imbalance coefficient: the coefficient of
-	// variation of per-device busy time (0 = perfectly balanced).
+	// variation of per-device busy time (0 = perfectly balanced),
+	// time-weighted over each device's live interval so late joiners and
+	// drained devices don't read as imbalance.
 	ImbalanceCV float64
 	// Requeues counts failure-induced request migrations.
 	Requeues int
@@ -91,23 +177,36 @@ type FleetStats struct {
 	// when no prefix traffic).
 	PrefixHitRate float64
 	FailedDevices int
+	// DeviceSeconds is the fleet's capacity cost: the summed live time of
+	// every member. The SLO-vs-cost tradeoff compares it against
+	// SLOAttainment across controllers.
+	DeviceSeconds float64
+	// Control summarizes the controller's activity; nil without one.
+	Control *ControlStats
 }
 
 // Cluster serves request streams with a fleet of heterogeneous edge
 // devices. Each device runs its own multi-tenant serving engine (its own
 // GPU, model pair, policy, and virtual clock); a pluggable router assigns
 // every request to a device at its arrival instant; device fail-stops
-// requeue unfinished work to the survivors. A 1-device cluster with the
-// "single" router reproduces Server's results exactly. Clusters are
-// reusable: every Run builds a fresh fleet, so equal seeds give
-// bit-identical runs.
+// requeue unfinished work to the survivors. With Autoscale configured,
+// an elastic control plane additionally grows the fleet from a warm
+// pool, drains it back down, and governs the per-request compute budget
+// from observed load. A 1-device cluster with the "single" router
+// reproduces Server's results exactly. Clusters are reusable: every Run
+// builds a fresh fleet, so equal seeds give bit-identical runs.
 //
-// The underlying fleet core dispatches arrivals and failures from event
-// heaps and reads per-device load from O(1) incremental indexes, so
-// Run scales to fleets of hundreds to thousands of devices — scheduling
-// overhead grows with events·log(devices), not events·devices.
+// The underlying fleet core dispatches arrivals, failures, joins, and
+// control ticks from event heaps and reads per-device load from O(1)
+// incremental indexes, so Run scales to fleets of hundreds to thousands
+// of devices — scheduling overhead grows with events·log(devices), not
+// events·devices.
 type Cluster struct {
 	devices []cluster.Device
+	names   []string
+	warm    []cluster.Device
+	warmN   []string
+	auto    *AutoscaleConfig
 	router  string
 	seed    uint64
 	slo     float64
@@ -119,12 +218,99 @@ type FleetRun struct {
 	// device's completions in completion order, interleaved at global
 	// event granularity).
 	Results []FleetResult
+	// Actions is the controller's applied-action log in decision order;
+	// nil without Autoscale. Equal seeds give bit-identical logs.
+	Actions []ScalingAction
 	stats   FleetStats
 }
 
 // Stats returns the fleet-level aggregates of the run, computed with the
 // cluster's SLOLatency.
 func (fr *FleetRun) Stats() FleetStats { return fr.stats }
+
+// expandDeviceSpecs validates a spec list and expands Count groups into
+// concrete per-device configs and names. seen tracks explicit names
+// across lists (fleet + warm pool).
+func expandDeviceSpecs(specs []DeviceSpec, kind, defPrefix string, seen map[string]bool) ([]cluster.Device, []string, error) {
+	var devices []cluster.Device
+	var names []string
+	for i, spec := range specs {
+		if spec.Count < 0 {
+			return nil, nil, fmt.Errorf("fasttts: %s %d (%s): Count must be positive, got %d (0 selects 1)",
+				kind, i, describeSpec(spec, i), spec.Count)
+		}
+		if spec.Slowdown < 0 || math.IsNaN(spec.Slowdown) {
+			return nil, nil, fmt.Errorf("fasttts: %s %d (%s): Slowdown must be non-negative, got %v (0 means none)",
+				kind, i, describeSpec(spec, i), spec.Slowdown)
+		}
+		if math.IsNaN(spec.FailAt) {
+			return nil, nil, fmt.Errorf("fasttts: %s %d (%s): FailAt is NaN", kind, i, describeSpec(spec, i))
+		}
+		if spec.Name != "" {
+			if seen[spec.Name] {
+				return nil, nil, fmt.Errorf("fasttts: duplicate device name %q: names identify devices in telemetry and must be unique",
+					spec.Name)
+			}
+			seen[spec.Name] = true
+		}
+		count := spec.Count
+		if count == 0 {
+			count = 1
+		}
+		for rep := 0; rep < count; rep++ {
+			cfg := spec.Config
+			cfg.Seed = spec.Config.Seed + uint64(rep)
+			coreCfg, err := buildCoreConfig(cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fasttts: %s %d (%s): %w", kind, i, describeSpec(spec, i), err)
+			}
+			pol, err := sched.PolicyByName(spec.Policy)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fasttts: %s %d (%s): %w", kind, i, describeSpec(spec, i), err)
+			}
+			if spec.MaxInFlight > 0 {
+				pol = sched.AdmissionLimit{Inner: pol, MaxInFlight: spec.MaxInFlight}
+			}
+			devices = append(devices, cluster.Device{
+				Config:   coreCfg,
+				Policy:   pol,
+				Slowdown: spec.Slowdown,
+				FailAt:   spec.FailAt,
+			})
+			name := spec.Name
+			switch {
+			case name == "":
+				name = fmt.Sprintf("%s-%d", defPrefix, len(names))
+			case count > 1:
+				name = fmt.Sprintf("%s#%d", spec.Name, rep)
+			}
+			// Derived names (positional and replica-suffixed) share the
+			// namespace with explicit ones: an explicit "device-1" next to
+			// an unnamed second device, or "a#0" next to a Count group
+			// named "a", would reproduce exactly the ambiguous telemetry
+			// the uniqueness rule exists to prevent.
+			if name != spec.Name && seen[name] {
+				return nil, nil, fmt.Errorf("fasttts: device name %q collides with the derived name of %s %d (%s): names identify devices in telemetry and must be unique",
+					name, kind, i, describeSpec(spec, i))
+			}
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	return devices, names, nil
+}
+
+// describeSpec names a spec in errors without relying on validation
+// having succeeded.
+func describeSpec(spec DeviceSpec, i int) string {
+	if spec.Name != "" {
+		return spec.Name
+	}
+	if spec.GPU != "" {
+		return spec.GPU
+	}
+	return fmt.Sprintf("spec %d", i)
+}
 
 // NewCluster validates the configuration and builds the cluster.
 func NewCluster(cc ClusterConfig) (*Cluster, error) {
@@ -134,27 +320,26 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	if _, err := cluster.RouterByName(cc.Router); err != nil {
 		return nil, err
 	}
-	devices := make([]cluster.Device, len(cc.Devices))
-	for i, spec := range cc.Devices {
-		coreCfg, err := buildCoreConfig(spec.Config)
-		if err != nil {
-			return nil, fmt.Errorf("fasttts: device %d: %w", i, err)
-		}
-		pol, err := sched.PolicyByName(spec.Policy)
-		if err != nil {
-			return nil, fmt.Errorf("fasttts: device %d: %w", i, err)
-		}
-		if spec.MaxInFlight > 0 {
-			pol = sched.AdmissionLimit{Inner: pol, MaxInFlight: spec.MaxInFlight}
-		}
-		devices[i] = cluster.Device{
-			Config:   coreCfg,
-			Policy:   pol,
-			Slowdown: spec.Slowdown,
-			FailAt:   spec.FailAt,
-		}
+	seen := make(map[string]bool)
+	devices, names, err := expandDeviceSpecs(cc.Devices, "device", "device", seen)
+	if err != nil {
+		return nil, err
 	}
-	c := &Cluster{devices: devices, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency}
+	c := &Cluster{devices: devices, names: names, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency}
+	if cc.Autoscale != nil {
+		auto := *cc.Autoscale
+		if _, err := control.ByName(auto.Policy); err != nil {
+			return nil, err
+		}
+		c.warm, c.warmN, err = expandDeviceSpecs(auto.WarmPool, "warm-pool template", "tmpl", seen)
+		if err != nil {
+			return nil, err
+		}
+		if auto.MaxTier == 0 {
+			auto.MaxTier = 2
+		}
+		c.auto = &auto
+	}
 	// Fail fast on anything fleet construction itself would reject.
 	if _, err := c.newFleet(); err != nil {
 		return nil, err
@@ -167,7 +352,24 @@ func (c *Cluster) newFleet() (*cluster.Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return cluster.New(cluster.Config{Devices: c.devices, Router: router, Seed: c.seed})
+	cfg := cluster.Config{Devices: c.devices, Router: router, Seed: c.seed}
+	if c.auto != nil {
+		ctl, err := control.ByName(c.auto.Policy)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Control = &cluster.ControlConfig{
+			Controller:  ctl,
+			Interval:    c.auto.Interval,
+			Warm:        c.warm,
+			WarmupDelay: c.auto.WarmupDelay,
+			MinDevices:  c.auto.MinDevices,
+			MaxDevices:  c.auto.MaxDevices,
+			MaxTier:     c.auto.MaxTier,
+			SLOLatency:  c.slo,
+		}
+	}
+	return cluster.New(cfg)
 }
 
 // Run serves an open-loop request stream across the fleet.
@@ -206,6 +408,7 @@ func (c *Cluster) Run(reqs []Request) (*FleetRun, error) {
 				WallLatency:  r.WallLatency,
 				Slices:       r.Slices,
 				UsefulTokens: r.UsefulTokens,
+				Width:        r.Width,
 				Rejected:     r.Rejected,
 				Tag:          r.Tag,
 			},
@@ -213,27 +416,66 @@ func (c *Cluster) Run(reqs []Request) (*FleetRun, error) {
 			Requeues: r.Requeues,
 		}
 	}
-	fr.stats = wrapFleetStats(out.Stats(c.slo))
+	for _, a := range out.Actions {
+		fr.Actions = append(fr.Actions, ScalingAction{
+			Time:      a.Time,
+			Action:    string(a.Verb),
+			Requested: a.N,
+			Applied:   a.Applied,
+			Devices:   a.Devices,
+		})
+	}
+	fr.stats = c.wrapFleetStats(out.Stats(c.slo))
 	return fr, nil
 }
 
-func wrapFleetStats(m metrics.FleetStats) FleetStats {
+// deviceName resolves the display name of fleet index i: founding
+// devices carry their expanded spec names; controller-added instances
+// are labeled by their warm-pool template and join ordinal.
+func (c *Cluster) deviceName(i int) string {
+	if i < len(c.names) {
+		return c.names[i]
+	}
+	j := i - len(c.names)
+	if len(c.warmN) == 0 {
+		return fmt.Sprintf("warm+%d", j)
+	}
+	return fmt.Sprintf("warm:%s+%d", c.warmN[j%len(c.warmN)], j)
+}
+
+func (c *Cluster) wrapFleetStats(m metrics.FleetStats) FleetStats {
 	st := FleetStats{
 		ServeStats:    wrapServeStats(m.ServeStats),
 		ImbalanceCV:   m.ImbalanceCV,
 		Requeues:      m.Requeues,
 		PrefixHitRate: m.PrefixHitRate,
 		FailedDevices: m.FailedDevices,
+		DeviceSeconds: m.DeviceSeconds,
+	}
+	if m.Control != nil {
+		st.Control = &ControlStats{
+			Ticks:            m.Control.Ticks,
+			ScaleUps:         m.Control.ScaleUps,
+			ScaleDowns:       m.Control.ScaleDowns,
+			TierChanges:      m.Control.TierChanges,
+			FinalTier:        m.Control.FinalTier,
+			PeakDevices:      m.Control.PeakDevices,
+			DegradedRequests: m.Control.DegradedRequests,
+		}
 	}
 	for i, d := range m.Devices {
 		st.PerDevice = append(st.PerDevice, FleetDeviceStats{
 			Device:      i,
+			Name:        c.deviceName(i),
 			Served:      d.Served,
 			Tokens:      d.Tokens,
 			BusyTime:    d.Busy,
 			Utilization: d.Utilization,
 			Goodput:     d.Goodput,
+			LiveStart:   d.LiveStart,
+			LiveSeconds: d.Lifetime,
 			Failed:      d.Failed,
+			Drained:     d.Drained,
 		})
 	}
 	return st

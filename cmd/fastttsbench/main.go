@@ -48,6 +48,8 @@ func main() {
 		perfRouters  = flag.String("perf-routers", "rr,least-work,jsq,p2c,prefix", "comma-separated routers for -perf")
 		perfLabel    = flag.String("perf-label", "event-heap", "label for the -perf measurement set")
 		perfBaseline = flag.String("perf-baseline", "", "previous BENCH_core.json whose 'current' runs become this report's baseline")
+		perfCtl      = flag.Bool("perf-controller", false, "with -perf: measure controller-overhead cells (fleet step cost with the control plane on vs off) instead of the router sweep")
+		perfMerge    = flag.String("perf-merge", "", "with -perf-controller: existing BENCH_core.json whose sweep sections are preserved while controller_overhead is replaced")
 	)
 	flag.Parse()
 
@@ -81,6 +83,12 @@ func main() {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
 				fatal(err)
 			}
+		}
+		if *perfCtl {
+			if err := runControllerSweep(devList, reqList, routers, *seed, *perfMerge, *out); err != nil {
+				fatal(err)
+			}
+			return
 		}
 		if err := runPerfSweep(devList, reqList, routers, *seed, *perfLabel, *perfBaseline, *out); err != nil {
 			fatal(err)

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"fasttts/internal/cluster"
+	"fasttts/internal/control"
 	"fasttts/internal/core"
 	"fasttts/internal/hw"
 	"fasttts/internal/model"
@@ -78,6 +79,25 @@ type perfSpeedup struct {
 	Max      float64            `json:"max"`
 }
 
+// ctrlRun is one controller-overhead cell: the same fleet and stream
+// measured with the elastic control plane off and on, so the delta is
+// the cost of ticking, signal gathering, and actuation bookkeeping.
+type ctrlRun struct {
+	Devices  int     `json:"devices"`
+	Requests int     `json:"requests"`
+	Router   string  `json:"router"`
+	OffMS    float64 `json:"off_wall_ms"`
+	OnMS     float64 `json:"on_wall_ms"`
+	// OverheadPct is (on - off) / off x 100; small negatives are timing
+	// noise.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Ticks / ScaleUps / ScaleDowns report what the controller actually
+	// did during the measured run.
+	Ticks      int `json:"ticks"`
+	ScaleUps   int `json:"scale_ups"`
+	ScaleDowns int `json:"scale_downs"`
+}
+
 // perfReport is the BENCH_core.json document.
 type perfReport struct {
 	Schema    string       `json:"schema"`
@@ -88,6 +108,10 @@ type perfReport struct {
 	// Speedups lists baseline/current wall-time ratios per matched
 	// (devices, requests) cell; > 1 means the current code is faster.
 	Speedups []perfSpeedup `json:"speedups,omitempty"`
+	// ControllerOverhead holds the controller-on-vs-off cells (see
+	// ctrlRun), produced by -perf-controller and merged alongside the
+	// main sweep.
+	ControllerOverhead []ctrlRun `json:"controller_overhead,omitempty"`
 }
 
 // perfDeviceRate is the per-device arrival rate (req/s of virtual time).
@@ -227,6 +251,144 @@ func runPerfSweep(deviceList, requestList []int, routers []string, seed uint64, 
 	}
 	if report.Baseline != nil {
 		report.Speedups = perfSpeedups(report.Baseline.Runs, report.Current.Runs)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outDir != "" {
+		path := filepath.Join(outDir, coreArtifact)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+	os.Stdout.Write(data)
+	return nil
+}
+
+// perfControl builds the control-plane configuration of a controller-on
+// perf cell: a threshold controller ticking 64 times over the stream's
+// expected span, with an 8-slot warm pool it may actually scale into —
+// the overhead number must include real actuation, not just idle ticks.
+func perfControl(devices, requests int, seed uint64) (*cluster.ControlConfig, error) {
+	span := float64(requests) / (perfDeviceRate * float64(devices))
+	interval := span / 64
+	warm, err := perfDevices(8, seed+1000)
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.ControlConfig{
+		Controller:  control.NewThreshold(),
+		Interval:    interval,
+		Warm:        warm,
+		WarmupDelay: interval / 2,
+		SLOLatency:  10,
+	}, nil
+}
+
+// ctrlCell measures one controller-overhead cell: the identical fleet
+// and stream timed with the control plane detached and attached.
+func ctrlCell(devices, requests int, router string, seed uint64) (ctrlRun, error) {
+	run := ctrlRun{Devices: devices, Requests: requests, Router: router}
+	reqs := perfStream(requests, devices, seed)
+	reps := 1
+	if requests < 10000 {
+		reps = 3
+	}
+	measure := func(withCtl bool) (float64, *cluster.Outcome, error) {
+		best := 0.0
+		var kept *cluster.Outcome
+		for rep := 0; rep < reps; rep++ {
+			specs, err := perfDevices(devices, seed)
+			if err != nil {
+				return 0, nil, err
+			}
+			r, err := cluster.RouterByName(router)
+			if err != nil {
+				return 0, nil, err
+			}
+			cfg := cluster.Config{Devices: specs, Router: r, Seed: seed}
+			if withCtl {
+				if cfg.Control, err = perfControl(devices, requests, seed); err != nil {
+					return 0, nil, err
+				}
+			}
+			fleet, err := cluster.New(cfg)
+			if err != nil {
+				return 0, nil, err
+			}
+			start := time.Now()
+			out, err := fleet.Run(reqs)
+			wall := float64(time.Since(start).Nanoseconds()) / 1e6
+			if err != nil {
+				return 0, nil, err
+			}
+			if rep == 0 || wall < best {
+				best = wall
+			}
+			if rep == 0 {
+				kept = out
+			}
+		}
+		return best, kept, nil
+	}
+	off, _, err := measure(false)
+	if err != nil {
+		return run, err
+	}
+	on, out, err := measure(true)
+	if err != nil {
+		return run, err
+	}
+	run.OffMS, run.OnMS = off, on
+	if off > 0 {
+		run.OverheadPct = round2((on - off) / off * 100)
+	}
+	if out.Control != nil {
+		run.Ticks = out.Control.Ticks
+		run.ScaleUps = out.Control.ScaleUps
+		run.ScaleDowns = out.Control.ScaleDowns
+	}
+	return run, nil
+}
+
+// runControllerSweep measures the controller-overhead cells and writes
+// (or merges into) BENCH_core.json: when mergePath names an existing
+// report, its baseline/current/speedup sections are preserved and only
+// the controller_overhead section is replaced.
+func runControllerSweep(deviceList, requestList []int, routers []string, seed uint64, mergePath, outDir string) error {
+	report := perfReport{
+		Schema:    "fasttts-bench-core/v1",
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		Current:   perfSection{Label: "event-heap"},
+	}
+	if mergePath != "" {
+		data, err := os.ReadFile(mergePath)
+		if err != nil {
+			return fmt.Errorf("perf merge: %w", err)
+		}
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("perf merge %s: %w", mergePath, err)
+		}
+	}
+	report.ControllerOverhead = nil
+	for _, nd := range deviceList {
+		for _, nr := range requestList {
+			for _, router := range routers {
+				start := time.Now()
+				run, err := ctrlCell(nd, nr, router, seed)
+				if err != nil {
+					return fmt.Errorf("perf-controller %dx%d/%s: %w", nd, nr, router, err)
+				}
+				report.ControllerOverhead = append(report.ControllerOverhead, run)
+				fmt.Fprintf(os.Stderr, "ctrl %4d dev x %6d req %-10s off %9.1f ms  on %9.1f ms  %+6.1f%% (%s)\n",
+					nd, nr, router, run.OffMS, run.OnMS, run.OverheadPct, time.Since(start).Round(time.Millisecond))
+			}
+		}
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

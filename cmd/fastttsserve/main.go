@@ -14,6 +14,8 @@
 //	fastttsserve -n 24 -policy fcfs -compare sjf -slo 120 -json
 //	fastttsserve -n 32 -devices "RTX 4090,RTX 4090,RTX 4070 Ti,RTX 3070 Ti" \
 //	    -router prefix -compare rr,p2c -slow 1:4 -fail 3:200
+//	fastttsserve -n 48 -devices "RTX 4090,RTX 4070 Ti" -router least-work \
+//	    -controller threshold -warm "RTX 4090,RTX 4090" -control-interval 20 -slo 120
 package main
 
 import (
@@ -51,6 +53,13 @@ func main() {
 		router      = flag.String("router", "rr", "fleet router: single, rr, least-work, jsq, p2c, prefix")
 		fail        = flag.String("fail", "", "fail-stop injections, dev:time pairs (e.g. 1:200,3:350)")
 		slow        = flag.String("slow", "", "straggler factors, dev:factor pairs (e.g. 1:4)")
+		controller  = flag.String("controller", "", "elastic control policy: static, threshold, pid, budget (empty = no controller)")
+		warm        = flag.String("warm", "", "comma-separated warm-pool GPU names the controller may scale into")
+		ctlInterval = flag.Float64("control-interval", 20, "control period in fleet seconds")
+		warmup      = flag.Float64("warmup", 5, "warm-up delay before a scaled-up device becomes routable")
+		minDevices  = flag.Int("min-devices", 0, "drain floor for scale-down (0 = default 1)")
+		maxDevices  = flag.Int("max-devices", 0, "cap on routable+warming devices (0 = fleet + warm pool)")
+		maxTier     = flag.Int("max-tier", 0, "deepest compute-budget degradation tier (0 = default 2)")
 	)
 	flag.Parse()
 
@@ -88,6 +97,9 @@ func main() {
 			gpus: splitList(*devices), router: *router, compare: splitList(*compare),
 			policy: *policy, maxInFlight: *maxInFlight,
 			fail: *fail, slow: *slow,
+			controller: *controller, warm: splitList(*warm),
+			ctlInterval: *ctlInterval, warmup: *warmup,
+			minDevices: *minDevices, maxDevices: *maxDevices, maxTier: *maxTier,
 			probs: probs, rate: *rate, seed: *seed, slo: *slo,
 			dataset: *dataset, base: baseCfg, verbose: *verbose, jsonOut: *jsonOut,
 		})
@@ -166,6 +178,13 @@ type fleetArgs struct {
 	policy      string
 	maxInFlight int
 	fail, slow  string
+	controller  string
+	warm        []string
+	ctlInterval float64
+	warmup      float64
+	minDevices  int
+	maxDevices  int
+	maxTier     int
 	probs       []*fasttts.Problem
 	rate        float64
 	seed        uint64
@@ -197,6 +216,24 @@ func runFleet(a fleetArgs) {
 			FailAt:      fails[i],
 		}
 	}
+	var auto *fasttts.AutoscaleConfig
+	if a.controller != "" {
+		pool := make([]fasttts.DeviceSpec, len(a.warm))
+		for i, g := range a.warm {
+			cfg := a.base(a.seed + uint64(100+i))
+			cfg.GPU = g
+			pool[i] = fasttts.DeviceSpec{Config: cfg, Policy: a.policy, MaxInFlight: a.maxInFlight}
+		}
+		auto = &fasttts.AutoscaleConfig{
+			Policy:      a.controller,
+			Interval:    a.ctlInterval,
+			WarmPool:    pool,
+			WarmupDelay: a.warmup,
+			MinDevices:  a.minDevices,
+			MaxDevices:  a.maxDevices,
+			MaxTier:     a.maxTier,
+		}
+	}
 	reqs := fasttts.PoissonRequests(a.probs, a.rate, a.seed)
 	routers := append([]string{a.router}, a.compare...)
 	clusters := make([]*fasttts.Cluster, len(routers))
@@ -206,6 +243,7 @@ func runFleet(a fleetArgs) {
 			Router:     rt,
 			Seed:       a.seed,
 			SLOLatency: a.slo,
+			Autoscale:  auto,
 		})
 		if err != nil {
 			fatal(err)
@@ -226,8 +264,12 @@ func runFleet(a fleetArgs) {
 			}
 			fmt.Printf("  device %d: %s%s\n", i, g, note)
 		}
-		fmt.Printf("\n%-10s %7s %7s %7s %9s %9s %9s %9s %6s %6s %8s %6s\n",
-			"router", "served", "reject", "requeue", "p50(s)", "p95(s)", "p99(s)", "goodput", "imb", "hit%", "slo_att", "mksp")
+		if a.controller != "" {
+			fmt.Printf("  controller: %s, interval %.0fs, warm pool [%s], warm-up %.0fs\n",
+				a.controller, a.ctlInterval, strings.Join(a.warm, ", "), a.warmup)
+		}
+		fmt.Printf("\n%-10s %7s %7s %7s %9s %9s %9s %9s %6s %6s %8s %8s %6s\n",
+			"router", "served", "reject", "requeue", "p50(s)", "p95(s)", "p99(s)", "goodput", "imb", "hit%", "slo_att", "devsec", "mksp")
 	}
 	report := reportJSON{Mode: "fleet", Dataset: a.dataset, Requests: len(a.probs),
 		Rate: a.rate, Seed: a.seed, Devices: a.gpus}
@@ -241,18 +283,35 @@ func runFleet(a fleetArgs) {
 			report.Runs = append(report.Runs, runJSON{Router: rt, Stats: st})
 			continue
 		}
-		fmt.Printf("%-10s %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %6.2f %5.0f%% %7.0f%% %6.0f\n",
+		fmt.Printf("%-10s %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %6.2f %5.0f%% %7.0f%% %8.0f %6.0f\n",
 			rt, st.Served, st.Rejected, st.Requeues,
 			st.P50Latency, st.P95Latency, st.P99Latency,
 			st.Goodput, st.ImbalanceCV, 100*st.PrefixHitRate,
-			100*st.SLOAttainment, st.Makespan)
+			100*st.SLOAttainment, st.DeviceSeconds, st.Makespan)
+		if cs := st.Control; cs != nil && !a.jsonOut {
+			fmt.Printf("  control: %d ticks, %d ups, %d downs, %d tier moves (final tier %d), peak %d devices, %d degraded\n",
+				cs.Ticks, cs.ScaleUps, cs.ScaleDowns, cs.TierChanges, cs.FinalTier, cs.PeakDevices, cs.DegradedRequests)
+			if a.verbose {
+				for _, act := range run.Actions {
+					fmt.Printf("    t=%-7.1f %-10s requested %d applied %d devices %v\n",
+						act.Time, act.Action, act.Requested, act.Applied, act.Devices)
+				}
+			}
+		}
 		if a.verbose {
-			fmt.Printf("\n%8s %14s %7s %9s %7s %9s %7s\n",
-				"device", "gpu", "served", "busy(s)", "util", "goodput", "failed")
+			fmt.Printf("\n%8s %18s %7s %9s %7s %9s %9s %7s\n",
+				"device", "name", "served", "busy(s)", "util", "goodput", "live(s)", "state")
 			for _, d := range st.PerDevice {
-				fmt.Printf("%8d %14s %7d %9.1f %6.0f%% %9.2f %7v\n",
-					d.Device, a.gpus[d.Device], d.Served, d.BusyTime,
-					100*d.Utilization, d.Goodput, d.Failed)
+				state := "ok"
+				switch {
+				case d.Failed:
+					state = "failed"
+				case d.Drained:
+					state = "drained"
+				}
+				fmt.Printf("%8d %18s %7d %9.1f %6.0f%% %9.2f %9.1f %7s\n",
+					d.Device, d.Name, d.Served, d.BusyTime,
+					100*d.Utilization, d.Goodput, d.LiveSeconds, state)
 			}
 			fmt.Println()
 		}

@@ -1,0 +1,130 @@
+// autoscale demonstrates the elastic control plane: the same diurnal
+// (sinusoidal-rate) request stream is served three ways and compared on
+// the SLO-vs-cost plane.
+//
+//  1. A static fleet provisioned for the peak — four devices live for
+//     the whole run — attains the SLO but pays for idle troughs.
+//  2. An elastic fleet starts with two founders and a two-template warm
+//     pool under the threshold controller: peaks trigger warm-pool
+//     joins (after a warm-up delay), troughs drain them back out, and
+//     the run attains the same SLO on far fewer device-seconds.
+//  3. A fixed two-device fleet under the budget governor keeps
+//     membership constant and instead narrows the per-request search
+//     width (NumBeams) while the backlog is long.
+//
+// Every run is a deterministic simulation: equal seeds reproduce the
+// controller's action log bit-for-bit.
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fasttts"
+)
+
+const slo = 120 // wall-latency target, seconds
+
+func main() {
+	ds, err := fasttts.LoadDataset("MATH500", 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	probs := make([]*fasttts.Problem, 48)
+	for i := range probs {
+		probs[i] = ds.Problems[i%len(ds.Problems)]
+	}
+	// A day-like cycle compressed to 240s: the arrival rate swings from
+	// zero to double the mean, so a fixed fleet is alternately swamped
+	// and idle.
+	reqs := fasttts.SinusoidalRequests(probs, 0.22, 1, 240, 11)
+
+	founders := []fasttts.DeviceSpec{
+		{Config: fasttts.Config{GPU: "RTX 4090", NumBeams: 8, Seed: 42}, Name: "edge-a"},
+		{Config: fasttts.Config{GPU: "RTX 4070 Ti", NumBeams: 8, Seed: 43}, Name: "edge-b"},
+	}
+	warm := []fasttts.DeviceSpec{
+		{Config: fasttts.Config{GPU: "RTX 4090", NumBeams: 8, Seed: 60}, Name: "warm", Count: 2},
+	}
+
+	fmt.Println("=== diurnal stream: static peak provisioning vs feedback scaling ===")
+	fmt.Printf("%-12s %7s %7s %9s %9s %9s %8s\n",
+		"fleet", "served", "reject", "p95(s)", "slo_att", "devsec", "actions")
+
+	// 1. Static: founders + the whole warm pool, live from t=0.
+	static := run(fasttts.ClusterConfig{
+		Devices:    append(append([]fasttts.DeviceSpec{}, founders...), warm...),
+		Router:     "least-work",
+		Seed:       5,
+		SLOLatency: slo,
+	}, reqs, "static-peak")
+
+	// 2. Elastic: threshold controller scales the warm pool to fit.
+	elastic := run(fasttts.ClusterConfig{
+		Devices:    founders,
+		Router:     "least-work",
+		Seed:       5,
+		SLOLatency: slo,
+		Autoscale: &fasttts.AutoscaleConfig{
+			Policy:      "threshold",
+			Interval:    30,
+			WarmPool:    warm,
+			WarmupDelay: 10,
+		},
+	}, reqs, "threshold")
+
+	// 3. Budget governor: fixed membership, adaptive search width.
+	run(fasttts.ClusterConfig{
+		Devices:    founders,
+		Router:     "least-work",
+		Seed:       5,
+		SLOLatency: slo,
+		Autoscale: &fasttts.AutoscaleConfig{
+			Policy:   "budget",
+			Interval: 15,
+		},
+	}, reqs, "budget")
+
+	ss, es := static.Stats(), elastic.Stats()
+	fmt.Printf("\nthreshold scaling kept SLO attainment at %.0f%% (static: %.0f%%) using %.0f%% of the static fleet's device-seconds\n",
+		100*es.SLOAttainment, 100*ss.SLOAttainment, 100*es.DeviceSeconds/ss.DeviceSeconds)
+
+	fmt.Println("\n=== threshold controller action log (deterministic for equal seeds) ===")
+	for _, a := range elastic.Actions {
+		fmt.Printf("  t=%-7.1f %-10s requested %d, applied %d, devices %v\n",
+			a.Time, a.Action, a.Requested, a.Applied, a.Devices)
+	}
+	fmt.Println("\nper-device live intervals (elastic run):")
+	for _, d := range es.PerDevice {
+		state := "ok"
+		switch {
+		case d.Failed:
+			state = "failed"
+		case d.Drained:
+			state = "drained"
+		}
+		fmt.Printf("  %-14s live [%6.1f, %6.1f]s  busy %5.1fs  served %2d  %s\n",
+			d.Name, d.LiveStart, d.LiveStart+d.LiveSeconds, d.BusyTime, d.Served, state)
+	}
+}
+
+func run(cfg fasttts.ClusterConfig, reqs []fasttts.Request, label string) *fasttts.FleetRun {
+	cl, err := fasttts.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr, err := cl.Run(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := fr.Stats()
+	actions := "-"
+	if st.Control != nil {
+		actions = fmt.Sprintf("%du/%dd/%dt", st.Control.ScaleUps, st.Control.ScaleDowns, st.Control.TierChanges)
+	}
+	fmt.Printf("%-12s %7d %7d %9.1f %8.0f%% %9.0f %8s\n",
+		label, st.Served, st.Rejected, st.P95Latency, 100*st.SLOAttainment, st.DeviceSeconds, actions)
+	return fr
+}

@@ -93,13 +93,44 @@
 //	run, _ := cl.Run(fasttts.PoissonRequests(probs, 0.6, 11))
 //	fmt.Printf("%+v\n", run.Stats())
 //
+// # Elastic serving
+//
+// ClusterConfig.Autoscale attaches the elastic control plane
+// (internal/control): a deterministic feedback controller observes the
+// fleet at a fixed interval (window queue delay, utilization, SLO
+// attainment, outstanding work) and actuates two knobs. Horizontally it
+// scales up by instantiating warm-pool device templates — each join
+// becomes routable after a prefill/warm-up delay — and scales down by
+// draining devices (no new routes, accepted work finishes, the device
+// leaves the fleet). Vertically a compute-budget governor degrades the
+// per-request search budget — each tier halves the effective NumBeams,
+// honored by both the solver and the SJF/least-work demand estimates —
+// and restores it when load clears. Controllers are selected by name
+// like policies and routers: "static", "threshold", "pid", "budget".
+// Equal seeds reproduce the applied-action log (FleetRun.Actions)
+// bit-identically; FleetStats adds DeviceSeconds (the capacity cost of
+// elasticity) and the controller activity summary, and per-device stats
+// report live intervals (join to fail/drain/makespan).
+//
+//	cl, _ := fasttts.NewCluster(fasttts.ClusterConfig{
+//		Devices: []fasttts.DeviceSpec{{Config: fasttts.Config{GPU: "RTX 4090", NumBeams: 8, Seed: 42}}},
+//		Router:  "least-work", SLOLatency: 120,
+//		Autoscale: &fasttts.AutoscaleConfig{
+//			Policy: "threshold", Interval: 30, WarmupDelay: 10,
+//			WarmPool: []fasttts.DeviceSpec{{Config: fasttts.Config{GPU: "RTX 4090", NumBeams: 8, Seed: 60}, Count: 2}},
+//		},
+//	})
+//	run, _ := cl.Run(fasttts.SinusoidalRequests(probs, 0.22, 1, 240, 11))
+//	fmt.Println(run.Stats().DeviceSeconds, run.Actions)
+//
 // # Workload scenarios and golden-trace regression
 //
 // RunScenario serves one of the named, composable workload scenarios
 // (internal/scenario) — steady, diurnal (sinusoidal-rate arrivals),
 // flash-crowd, heavy-tail, tenant-mix, fleet-churn (staggered fail-stop
-// plus stragglers), burst-storm — on either the single-server or the
-// cluster target. Every scenario builds a deterministic request stream,
+// plus stragglers), burst-storm, and the controller-driven
+// autoscale-diurnal, flash-absorb, and budget-storm — on either the
+// single-server or the cluster target. Every scenario builds a deterministic request stream,
 // so a run is bit-identically reproducible; ScenarioRun.TraceJSONL
 // renders it as a canonical record/replay trace (internal/trace), and
 // the committed goldens under testdata/golden gate CI: replaying every

@@ -1,32 +1,35 @@
 // Package cluster simulates a heterogeneous edge fleet serving TTS
 // traffic: N per-device serving engines (each its own GPU, model pair,
 // straggler factor, and admission/ordering policy) composed behind a
-// pluggable Router, with fail-stop fault injection and fleet-level
-// metrics.
+// pluggable Router, with fail-stop fault injection, fleet-level metrics,
+// and an optional elastic control plane (internal/control) that scales
+// the fleet and the per-request compute budget from observed load.
 //
 // The fleet runs on the same discrete virtual time as the per-device
 // engines. Devices execute concurrently — each core.Loop owns an
 // independent clock — and the fleet advances them between global events
-// (request arrivals and device failures) with an event-heap core: a
-// stable min-heap of pending arrivals, a pre-sorted fail-stop schedule,
-// and an indexed min-heap of per-device wake times, so each event steps
-// only the devices it concerns and dispatch is O(log devices) instead of
-// an O(devices) re-scan per event. Router load signals (device clock,
-// pending population, outstanding work) are read from the loops' O(1)
-// incremental indexes and cached in views refreshed only for touched
-// devices, which keeps work-aware routing (least-work, JSQ, P2C, prefix
-// fallback) cheap at fleet scale.
+// (request arrivals, device failures, warm-pool joins, and control
+// ticks) with an event-heap core: a stable min-heap of pending arrivals,
+// a pre-sorted fail-stop schedule, and an indexed min-heap of per-device
+// wake times, so each event steps only the devices it concerns and
+// dispatch is O(log devices) instead of an O(devices) re-scan per event.
+// Router load signals (device clock, pending population, outstanding
+// work) are read from the loops' O(1) incremental indexes and cached in
+// views refreshed only for touched devices, which keeps work-aware
+// routing (least-work, JSQ, P2C, prefix fallback) cheap at fleet scale.
 //
 // A request is routed once, at its arrival instant, using the routers'
 // view of live device state; when a device fail-stops, its unfinished
 // requests are requeued to the surviving devices (partial work lost),
 // extending the serving engine's determinism guarantee: equal seeds give
-// bit-identical fleet-served streams under every router.
+// bit-identical fleet-served streams under every router — and, with a
+// controller attached, bit-identical controller action logs.
 package cluster
 
 import (
 	"container/heap"
 	"fmt"
+	"math"
 	"sort"
 
 	"fasttts/internal/core"
@@ -59,8 +62,13 @@ type Config struct {
 	// Router assigns requests to devices; nil = round-robin.
 	Router Router
 	// Seed drives the router's private random stream (power-of-two
-	// choices); device engines draw from their own Config seeds.
+	// choices) and the controller's; device engines draw from their own
+	// Config seeds.
 	Seed uint64
+	// Control, when non-nil, attaches the elastic control plane: a
+	// feedback controller observing the fleet at a fixed interval and
+	// actuating warm-pool joins, drains, and compute-budget tiers.
+	Control *ControlConfig
 }
 
 // Result is one fleet-served request: the device-level telemetry plus
@@ -82,7 +90,8 @@ type Outcome struct {
 	// device's completions stay in completion order, interleaved at
 	// global event granularity.
 	Results []Result
-	// Devices is the per-device telemetry, indexed by fleet device.
+	// Devices is the per-device telemetry, indexed by fleet device
+	// (founding devices first, then warm-pool joins in join order).
 	Devices []metrics.FleetDevice
 	// Requeues counts failure-induced request migrations.
 	Requeues int
@@ -91,6 +100,11 @@ type Outcome struct {
 	// Only requests a device actually served are counted — a request shed
 	// by admission control prefills nothing.
 	PrefixHits, PrefixMisses int64
+	// Actions is the controller's applied-action log in decision order;
+	// nil without a controller. Equal seeds give bit-identical logs.
+	Actions []ActionRecord
+	// Control summarizes the controller's activity; nil without one.
+	Control *metrics.ControlStats
 }
 
 // Stats reduces the outcome to fleet-level aggregates. sloLatency is the
@@ -110,6 +124,7 @@ func (o *Outcome) Stats(sloLatency float64) metrics.FleetStats {
 		PrefixHits:   o.PrefixHits,
 		PrefixMisses: o.PrefixMisses,
 		SLOLatency:   sloLatency,
+		Control:      o.Control,
 	})
 }
 
@@ -117,9 +132,10 @@ func (o *Outcome) Stats(sloLatency float64) metrics.FleetStats {
 // and device engines carry state, so build a fresh Fleet per request
 // stream (the public API layer does this on every call).
 type Fleet struct {
-	cfg  Config
-	srvs []*core.Server
-	used bool
+	cfg      Config
+	srvs     []*core.Server
+	warmSrvs []*core.Server // one per warm-pool template (stateless, shared by instances)
+	used     bool
 }
 
 // New validates the configuration and builds the fleet.
@@ -138,7 +154,15 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		srvs[i] = srv
 	}
-	return &Fleet{cfg: cfg, srvs: srvs}, nil
+	f := &Fleet{cfg: cfg, srvs: srvs}
+	if cfg.Control != nil {
+		warm, err := cfg.Control.validate(len(cfg.Devices))
+		if err != nil {
+			return nil, err
+		}
+		f.warmSrvs = warm
+	}
+	return f, nil
 }
 
 // device is the runtime state of one fleet member.
@@ -146,8 +170,16 @@ type device struct {
 	spec     Device
 	loop     *core.Loop
 	speed    float64
-	alive    bool
-	failedAt float64
+	alive    bool            // has not fail-stopped
+	failedAt float64         // fail-stop time (alive == false)
+	joinAt   float64         // fleet time the device became routable (0 for founding members)
+	warming  bool            // created from the warm pool, warm-up delay not yet elapsed
+	dynamic  bool            // instantiated from the warm pool by the controller
+	draining bool            // control plane is draining it: no new routes
+	drained  bool            // drain finished: all accepted work served
+	drainAt  float64         // drain decision time
+	drainEnd float64         // drain completion time (last accepted work finished)
+	lastBusy float64         // busy-time snapshot at the previous control tick
 	prefixes map[string]bool // prompt-prefix directory of the radix cache
 	marker   map[string]int  // prefix -> tag that marked it, until confirmed
 	served   int
@@ -172,51 +204,64 @@ type pendingReq struct {
 	seq      int
 }
 
-// Run serves the open-loop request stream and returns the fleet outcome.
-// Request Tags identify requests across requeues and must be unique
-// (callers typically tag by stream index); Run rejects streams with
-// duplicate tags, which would silently corrupt requeue telemetry and
-// prefix accounting.
-//
-// Run is the fleet's event loop. Global events — request arrivals and
-// device fail-stops — are dispatched from heaps: a stable min-heap of
-// pending arrivals, a pre-sorted fail-stop schedule, and an indexed
-// min-heap of per-device wake times (the earliest horizon at which each
-// device's loop would make progress). At each event only the devices
-// whose wake time falls inside the event window are stepped, and the
-// router's device views are refreshed incrementally for exactly the
-// devices an event touched — O(events·log devices) overall instead of
-// the O(events·devices) full re-scan per event.
-func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
-	if f.used {
-		return nil, fmt.Errorf("cluster: Fleet is single-run; build a new Fleet per stream")
-	}
-	f.used = true
+// run is the mutable state of one fleet event loop: the device set (which
+// may grow as the control plane claims warm-pool instances), the arrival
+// and failure event sources, the router's incrementally maintained device
+// views, the per-device wake heap, and — when a controller is attached —
+// the elastic control-plane state.
+type run struct {
+	f    *Fleet
+	devs []*device
+	out  *Outcome
 
+	// Arrival sources: the pre-sorted submitted stream consumed by index,
+	// plus a min-heap for failure requeues.
+	stream      []pendingReq
+	sp          int
+	requeued    arrivalHeap
+	nextSeq     int
+	origArrival map[int]float64 // request tag -> submission time
+	requeues    map[int]int     // request tag -> displacement count
+	acct        map[int]prefixAcct
+
+	fails []failEvent
+	fp    int
+
+	routeRand *rng.Stream
+	needWork  bool
+
+	// Router device views: vs holds one view per routable device in index
+	// order, posInVs maps a device index to its position in vs (-1 while
+	// warming, draining, or failed).
+	vs      []DeviceView
+	posInVs []int
+
+	wake   *wakeHeap
+	dueBuf []int
+
+	el *elastic // nil without a controller
+}
+
+// Event kinds at one instant resolve in a fixed priority: a join makes
+// the device routable before anything else sees the fleet, failures beat
+// arrivals (a request landing exactly at the fail time routes to the
+// survivors), and control ticks observe and actuate before the arrivals
+// of the same instant are routed.
+const (
+	evJoin = iota
+	evFail
+	evTick
+	evArrival
+)
+
+func (f *Fleet) newRun(reqs []core.Request) (*run, error) {
 	devs := make([]*device, len(f.cfg.Devices))
 	for i, spec := range f.cfg.Devices {
-		slow := spec.Slowdown
-		if slow < 1 {
-			slow = 1
-		}
-		loop := f.srvs[i].NewLoop(nil)
-		loop.SetScale(slow)
-		devs[i] = &device{
-			spec:     spec,
-			loop:     loop,
-			speed:    spec.Config.GPU.MemBW * spec.Config.GPU.MemEff / slow,
-			alive:    true,
-			prefixes: make(map[string]bool),
-			marker:   make(map[string]int),
-		}
+		devs[i] = newDevice(spec, f.srvs[i], 0)
 	}
 
-	// The submitted stream is sorted once and consumed by index; only
-	// failure requeues — rare, unsorted insertions — go through a heap.
-	// The next arrival event is the smaller of the two heads, stream
-	// first on ties (its seq is always lower).
 	stream := make([]pendingReq, len(reqs))
-	origArrival := make(map[int]float64, len(reqs)) // request tag -> submission time
+	origArrival := make(map[int]float64, len(reqs))
 	for i, rq := range reqs {
 		if _, dup := origArrival[rq.Tag]; dup {
 			return nil, fmt.Errorf(
@@ -227,271 +272,388 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 		origArrival[rq.Tag] = rq.Arrival
 	}
 	sort.SliceStable(stream, func(i, j int) bool { return stream[i].req.Arrival < stream[j].req.Arrival })
-	sp := 0
-	var requeued arrivalHeap
-	nextSeq := len(reqs)
-	// streamFirst reports whether the stream head is the next arrival
-	// (shared by peek and pop so the head-selection rule cannot diverge).
-	streamFirst := func() bool {
-		return sp < len(stream) && (requeued.Len() == 0 || stream[sp].req.Arrival <= requeued[0].req.Arrival)
-	}
-	// nextArrival peeks the earliest pending arrival; popArrival removes
-	// and returns it.
-	nextArrival := func() (pendingReq, bool) {
-		switch {
-		case streamFirst():
-			return stream[sp], true
-		case requeued.Len() > 0:
-			return requeued[0], true
-		}
-		return pendingReq{}, false
-	}
-	popArrival := func() pendingReq {
-		if streamFirst() {
-			pr := stream[sp]
-			sp++
-			return pr
-		}
-		return heap.Pop(&requeued).(pendingReq)
-	}
 
-	out := &Outcome{}
-	routeRand := rng.New(f.cfg.Seed).Child("cluster/router")
-	requeues := make(map[int]int)    // request tag -> displacement count
-	acct := make(map[int]prefixAcct) // request tag -> pending prefix accounting
-
-	// settlePrefix resolves a result's deferred prefix accounting: counts
-	// the hit/miss when the device served the request, refunds the
-	// optimistic directory mark when admission shed it before prefill.
-	settlePrefix := func(sv core.ServedResult, dev int) {
-		a, ok := acct[sv.Tag]
-		if !ok || a.dev != dev {
-			return
-		}
-		delete(acct, sv.Tag)
-		d := devs[dev]
-		switch {
-		case !sv.Rejected && a.hit:
-			out.PrefixHits += a.tokens
-		case !sv.Rejected:
-			out.PrefixMisses += a.tokens
-			if d.marker[a.key] == sv.Tag {
-				delete(d.marker, a.key) // residency confirmed
-			}
-		case !a.hit && d.marker[a.key] == sv.Tag:
-			delete(d.prefixes, a.key) // shed before prefill: refund
-			delete(d.marker, a.key)
-		}
+	r := &run{
+		f:           f,
+		devs:        devs,
+		out:         &Outcome{},
+		stream:      stream,
+		nextSeq:     len(reqs),
+		origArrival: origArrival,
+		requeues:    make(map[int]int),
+		acct:        make(map[int]prefixAcct),
+		fails:       failSchedule(devs),
+		routeRand:   rng.New(f.cfg.Seed).Child("cluster/router"),
 	}
-
-	needWork := false
 	if wa, ok := f.cfg.Router.(WorkAware); ok {
-		needWork = wa.NeedsOutstandingWork()
+		r.needWork = wa.NeedsOutstandingWork()
 	}
-
-	// The router's device views are maintained incrementally: vs holds
-	// one view per alive device in index order, posInVs maps a device
-	// index to its position in vs (-1 once failed). refreshView is O(1)
-	// and called only for devices an event actually touched.
-	vs := make([]DeviceView, len(devs))
-	posInVs := make([]int, len(devs))
+	r.vs = make([]DeviceView, len(devs))
+	r.posInVs = make([]int, len(devs))
 	for i, d := range devs {
-		vs[i] = DeviceView{Index: i, Speed: d.speed}
-		posInVs[i] = i
+		r.vs[i] = DeviceView{Index: i, Speed: d.speed}
+		r.posInVs[i] = i
 	}
-	refreshView := func(dev int) {
-		p := posInVs[dev]
-		if p < 0 {
-			return
-		}
-		v := &vs[p]
-		d := devs[dev]
-		v.Now = d.loop.Now()
-		v.Pending = d.loop.Pending()
-		if needWork {
-			v.OutstandingWork = d.loop.OutstandingWork()
-		}
+	r.wake = newWakeHeap(len(devs))
+	if f.cfg.Control != nil {
+		r.el = newElastic(f, len(devs))
 	}
-	dropView := func(dev int) {
-		p := posInVs[dev]
-		if p < 0 {
-			return
-		}
-		copy(vs[p:], vs[p+1:])
-		vs = vs[:len(vs)-1]
-		posInVs[dev] = -1
-		for q := p; q < len(vs); q++ {
-			posInVs[vs[q].Index] = q
-		}
-	}
+	return r, nil
+}
 
-	// wake tracks, per device, the earliest horizon at which its loop
-	// would make progress; devices with nothing to do are absent and cost
-	// nothing per event.
-	wake := newWakeHeap(len(devs))
-	updateWake := func(dev int) {
-		if at, ok := devs[dev].loop.Wake(); ok {
-			wake.update(dev, at)
-		} else {
-			wake.remove(dev)
-		}
+// newDevice builds the runtime state of one fleet member around a fresh
+// serving loop.
+func newDevice(spec Device, srv *core.Server, joinAt float64) *device {
+	slow := spec.Slowdown
+	if slow < 1 {
+		slow = 1
 	}
+	loop := srv.NewLoop(nil)
+	loop.SetScale(slow)
+	return &device{
+		spec:     spec,
+		loop:     loop,
+		speed:    spec.Config.GPU.MemBW * spec.Config.GPU.MemEff / slow,
+		alive:    true,
+		joinAt:   joinAt,
+		prefixes: make(map[string]bool),
+		marker:   make(map[string]int),
+	}
+}
 
-	// collect steps the devices whose wake time falls within the horizon,
-	// in device-index order, gathering completions. Untouched devices are
-	// provably no-ops: their loops would neither run a slice, admit, nor
-	// jump the clock, so their state and views are already current. A
-	// requeued request keeps its original submission time in the
-	// client-facing telemetry: the wait on its failed device still
-	// happened.
-	var dueBuf []int
-	collect := func(horizon float64) error {
-		dueBuf = wake.popDue(horizon, dueBuf[:0])
-		for _, i := range dueBuf {
-			d := devs[i]
-			served, err := d.loop.StepTo(horizon)
-			if err != nil {
-				return fmt.Errorf("cluster: device %d: %w", i, err)
-			}
-			for _, sv := range served {
-				settlePrefix(sv, i)
-				if requeues[sv.Tag] > 0 {
-					sv.Arrival = origArrival[sv.Tag]
-					if !sv.Rejected {
-						sv.QueueDelay = sv.Start - sv.Arrival
-						sv.WallLatency = sv.Finish - sv.Arrival
-					}
-				}
-				out.Results = append(out.Results, Result{
-					ServedResult: sv, Device: i, Requeues: requeues[sv.Tag],
-				})
+// streamFirst reports whether the stream head is the next arrival
+// (shared by peek and pop so the head-selection rule cannot diverge).
+func (r *run) streamFirst() bool {
+	return r.sp < len(r.stream) && (r.requeued.Len() == 0 || r.stream[r.sp].req.Arrival <= r.requeued[0].req.Arrival)
+}
+
+// nextArrival peeks the earliest pending arrival; popArrival removes and
+// returns it.
+func (r *run) nextArrival() (pendingReq, bool) {
+	switch {
+	case r.streamFirst():
+		return r.stream[r.sp], true
+	case r.requeued.Len() > 0:
+		return r.requeued[0], true
+	}
+	return pendingReq{}, false
+}
+
+func (r *run) popArrival() pendingReq {
+	if r.streamFirst() {
+		pr := r.stream[r.sp]
+		r.sp++
+		return pr
+	}
+	return heap.Pop(&r.requeued).(pendingReq)
+}
+
+// settlePrefix resolves a result's deferred prefix accounting: counts
+// the hit/miss when the device served the request, refunds the
+// optimistic directory mark when admission shed it before prefill.
+func (r *run) settlePrefix(sv core.ServedResult, dev int) {
+	a, ok := r.acct[sv.Tag]
+	if !ok || a.dev != dev {
+		return
+	}
+	delete(r.acct, sv.Tag)
+	d := r.devs[dev]
+	switch {
+	case !sv.Rejected && a.hit:
+		r.out.PrefixHits += a.tokens
+	case !sv.Rejected:
+		r.out.PrefixMisses += a.tokens
+		if d.marker[a.key] == sv.Tag {
+			delete(d.marker, a.key) // residency confirmed
+		}
+	case !a.hit && d.marker[a.key] == sv.Tag:
+		delete(d.prefixes, a.key) // shed before prefill: refund
+		delete(d.marker, a.key)
+	}
+}
+
+// refreshView is O(1) and called only for devices an event actually
+// touched.
+func (r *run) refreshView(dev int) {
+	p := r.posInVs[dev]
+	if p < 0 {
+		return
+	}
+	v := &r.vs[p]
+	d := r.devs[dev]
+	v.Now = d.loop.Now()
+	v.Pending = d.loop.Pending()
+	if r.needWork {
+		v.OutstandingWork = d.loop.OutstandingWork()
+	}
+}
+
+func (r *run) dropView(dev int) {
+	p := r.posInVs[dev]
+	if p < 0 {
+		return
+	}
+	copy(r.vs[p:], r.vs[p+1:])
+	r.vs = r.vs[:len(r.vs)-1]
+	r.posInVs[dev] = -1
+	for q := p; q < len(r.vs); q++ {
+		r.posInVs[r.vs[q].Index] = q
+	}
+}
+
+func (r *run) updateWake(dev int) {
+	if at, ok := r.devs[dev].loop.Wake(); ok {
+		r.wake.update(dev, at)
+	} else {
+		r.wake.remove(dev)
+	}
+}
+
+// collect steps the devices whose wake time falls within the horizon, in
+// device-index order, gathering completions. Untouched devices are
+// provably no-ops: their loops would neither run a slice, admit, nor
+// jump the clock, so their state and views are already current. A
+// requeued request keeps its original submission time in the
+// client-facing telemetry: the wait on its failed device still happened.
+func (r *run) collect(horizon float64) error {
+	r.dueBuf = r.wake.popDue(horizon, r.dueBuf[:0])
+	for _, i := range r.dueBuf {
+		d := r.devs[i]
+		served, err := d.loop.StepTo(horizon)
+		if err != nil {
+			return fmt.Errorf("cluster: device %d: %w", i, err)
+		}
+		for _, sv := range served {
+			r.settlePrefix(sv, i)
+			if r.requeues[sv.Tag] > 0 {
+				sv.Arrival = r.origArrival[sv.Tag]
 				if !sv.Rejected {
-					d.served++
-					d.tokens += sv.UsefulTokens
+					sv.QueueDelay = sv.Start - sv.Arrival
+					sv.WallLatency = sv.Finish - sv.Arrival
 				}
 			}
-			updateWake(i)
-			refreshView(i)
+			r.out.Results = append(r.out.Results, Result{
+				ServedResult: sv, Device: i, Requeues: r.requeues[sv.Tag],
+			})
+			if !sv.Rejected {
+				d.served++
+				d.tokens += sv.UsefulTokens
+			}
+			if r.el != nil {
+				r.el.observe(sv, d)
+			}
+		}
+		if d.draining && !d.drained && d.loop.Idle() {
+			// All accepted work served: the drain completes and the device
+			// leaves the fleet.
+			d.drained = true
+			d.drainEnd = math.Max(d.drainAt, d.loop.Now())
+		}
+		r.updateWake(i)
+		r.refreshView(i)
+	}
+	return nil
+}
+
+// failDevice applies one fail-stop: the device leaves the routable set
+// and its unfinished requests requeue to the survivors.
+func (r *run) failDevice(ft float64, fi int) {
+	d := r.devs[fi]
+	d.alive = false
+	d.failedAt = ft
+	r.wake.remove(fi)
+	r.dropView(fi)
+	for _, rq := range d.loop.Fail() {
+		rq.Arrival = ft
+		r.requeues[rq.Tag]++
+		r.out.Requeues++
+		heap.Push(&r.requeued, pendingReq{req: rq, requeues: r.requeues[rq.Tag], seq: r.nextSeq})
+		r.nextSeq++
+	}
+}
+
+// routeArrival routes one pending request at its arrival instant.
+func (r *run) routeArrival(pr pendingReq) error {
+	at := pr.req.Arrival
+	if len(r.vs) == 0 {
+		// Lost capacity: no routable device (all failed or drained). Shed
+		// the request at this instant, reported against its original
+		// submission time.
+		delete(r.acct, pr.req.Tag)
+		r.out.Results = append(r.out.Results, Result{
+			ServedResult: core.ServedResult{
+				Arrival: r.origArrival[pr.req.Tag], Start: at, Finish: at,
+				Rejected: true, Tag: pr.req.Tag,
+			},
+			Device:   -1,
+			Requeues: pr.requeues,
+		})
+		if r.el != nil {
+			r.el.winRejected++
 		}
 		return nil
 	}
-
-	fails := failSchedule(devs)
-	fp := 0
-	for {
-		haveFail := fp < len(fails)
-		head, haveArrival := nextArrival()
-		if !haveFail && !haveArrival {
-			break
-		}
-
-		// Failures at an instant take effect before arrivals at the same
-		// instant: a request landing exactly at the fail time is routed to
-		// the survivors.
-		if haveFail && (!haveArrival || fails[fp].at <= head.req.Arrival) {
-			ft, fi := fails[fp].at, fails[fp].dev
-			fp++
-			if err := collect(ft); err != nil {
-				return nil, err
-			}
-			d := devs[fi]
-			d.alive = false
-			d.failedAt = ft
-			wake.remove(fi)
-			dropView(fi)
-			for _, rq := range d.loop.Fail() {
-				rq.Arrival = ft
-				requeues[rq.Tag]++
-				out.Requeues++
-				heap.Push(&requeued, pendingReq{req: rq, requeues: requeues[rq.Tag], seq: nextSeq})
-				nextSeq++
-			}
-			continue
-		}
-
-		pr := popArrival()
-		at := pr.req.Arrival
-		if err := collect(at); err != nil {
-			return nil, err
-		}
-		if len(vs) == 0 {
-			// Lost capacity: the whole fleet is dead. Shed the request at
-			// this instant, reported against its original submission time.
-			delete(acct, pr.req.Tag)
-			out.Results = append(out.Results, Result{
-				ServedResult: core.ServedResult{
-					Arrival: origArrival[pr.req.Tag], Start: at, Finish: at,
-					Rejected: true, Tag: pr.req.Tag,
-				},
-				Device:   -1,
-				Requeues: pr.requeues,
-			})
-			continue
-		}
-		rv := RequestView{
-			Tag:       pr.req.Tag,
-			Arrival:   at,
-			PrefixKey: prefixKey(pr.req.Problem),
-			Requeued:  pr.requeues > 0,
-		}
-		pick := f.cfg.Router.Route(rv, vs, routeRand)
-		if pick < 0 || pick >= len(vs) {
-			return nil, fmt.Errorf("cluster: router %s picked %d of %d alive devices",
-				f.cfg.Router.Name(), pick, len(vs))
-		}
-		di := vs[pick].Index
-		d := devs[di]
-		// Mark the directory optimistically (concurrent repeats of this
-		// prompt should route as hits) but defer the counters until the
-		// device actually serves the request.
-		resident := d.prefixes[rv.PrefixKey]
-		if !resident {
-			d.prefixes[rv.PrefixKey] = true
-			d.marker[rv.PrefixKey] = pr.req.Tag
-		}
-		acct[pr.req.Tag] = prefixAcct{
-			dev: di, key: rv.PrefixKey,
-			tokens: int64(pr.req.Problem.PromptTokens), hit: resident,
-		}
-		d.loop.Push(pr.req)
-		updateWake(di)
-		refreshView(di)
+	rv := RequestView{
+		Tag:       pr.req.Tag,
+		Arrival:   at,
+		PrefixKey: prefixKey(pr.req.Problem),
+		Requeued:  pr.requeues > 0,
 	}
+	pick := r.f.cfg.Router.Route(rv, r.vs, r.routeRand)
+	if pick < 0 || pick >= len(r.vs) {
+		return fmt.Errorf("cluster: router %s picked %d of %d alive devices",
+			r.f.cfg.Router.Name(), pick, len(r.vs))
+	}
+	di := r.vs[pick].Index
+	d := r.devs[di]
+	if r.el != nil {
+		r.el.budget(&pr.req, d)
+	}
+	// Mark the directory optimistically (concurrent repeats of this
+	// prompt should route as hits) but defer the counters until the
+	// device actually serves the request.
+	resident := d.prefixes[rv.PrefixKey]
+	if !resident {
+		d.prefixes[rv.PrefixKey] = true
+		d.marker[rv.PrefixKey] = pr.req.Tag
+	}
+	r.acct[pr.req.Tag] = prefixAcct{
+		dev: di, key: rv.PrefixKey,
+		tokens: int64(pr.req.Problem.PromptTokens), hit: resident,
+	}
+	d.loop.Push(pr.req)
+	r.updateWake(di)
+	r.refreshView(di)
+	return nil
+}
 
-	// No more global events: run every surviving device to completion.
-	if err := collect(core.NoHorizon); err != nil {
+// Run serves the open-loop request stream and returns the fleet outcome.
+// Request Tags identify requests across requeues and must be unique
+// (callers typically tag by stream index); Run rejects streams with
+// duplicate tags, which would silently corrupt requeue telemetry and
+// prefix accounting.
+//
+// Run is the fleet's event loop. Global events — request arrivals,
+// device fail-stops, warm-pool joins, and control ticks — are dispatched
+// from heaps: a stable min-heap of pending arrivals, a pre-sorted
+// fail-stop schedule, and an indexed min-heap of per-device wake times
+// (the earliest horizon at which each device's loop would make
+// progress). At each event only the devices whose wake time falls inside
+// the event window are stepped, and the router's device views are
+// refreshed incrementally for exactly the devices an event touched —
+// O(events·log devices) overall instead of the O(events·devices) full
+// re-scan per event.
+func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
+	if f.used {
+		return nil, fmt.Errorf("cluster: Fleet is single-run; build a new Fleet per stream")
+	}
+	f.used = true
+	r, err := f.newRun(reqs)
+	if err != nil {
 		return nil, err
 	}
 
-	makespan := 0.0
-	for _, r := range out.Results {
-		if !r.Rejected && r.Finish > makespan {
-			makespan = r.Finish
+	for {
+		head, haveArrival := r.nextArrival()
+		bestAt, bestKind := 0.0, -1
+		consider := func(at float64, kind int, have bool) {
+			if have && (bestKind < 0 || at < bestAt || (at == bestAt && kind < bestKind)) {
+				bestAt, bestKind = at, kind
+			}
+		}
+		if r.el != nil {
+			consider(r.el.nextJoin())
+			consider(r.el.nextTickEvent(r, haveArrival))
+		}
+		consider(r.failAt(), evFail, r.fp < len(r.fails))
+		consider(head.req.Arrival, evArrival, haveArrival)
+		if bestKind < 0 {
+			break
+		}
+		if err := r.collect(bestAt); err != nil {
+			return nil, err
+		}
+		switch bestKind {
+		case evJoin:
+			r.el.completeJoin(r)
+		case evFail:
+			ft, fi := r.fails[r.fp].at, r.fails[r.fp].dev
+			r.fp++
+			r.failDevice(ft, fi)
+		case evTick:
+			r.el.tick(r, bestAt)
+		case evArrival:
+			if err := r.routeArrival(r.popArrival()); err != nil {
+				return nil, err
+			}
 		}
 	}
-	out.Devices = make([]metrics.FleetDevice, len(devs))
-	for i, d := range devs {
-		life := makespan
-		if !d.alive {
-			if d.failedAt < life {
-				life = d.failedAt
+
+	// No more global events: run every surviving device to completion.
+	if err := r.collect(core.NoHorizon); err != nil {
+		return nil, err
+	}
+	r.finish()
+	return r.out, nil
+}
+
+// failAt is the time of the next scheduled fail-stop (meaningful only
+// while fp is in range).
+func (r *run) failAt() float64 {
+	if r.fp < len(r.fails) {
+		return r.fails[r.fp].at
+	}
+	return 0
+}
+
+// finish assembles the per-device telemetry: each device's live interval
+// runs from its join time to its fail-stop, drain completion, or the
+// fleet makespan.
+func (r *run) finish() {
+	makespan := 0.0
+	for _, res := range r.out.Results {
+		if !res.Rejected && res.Finish > makespan {
+			makespan = res.Finish
+		}
+	}
+	r.out.Devices = make([]metrics.FleetDevice, len(r.devs))
+	for i, d := range r.devs {
+		end := makespan
+		switch {
+		case !d.alive:
+			if d.failedAt < end {
+				end = d.failedAt
 			}
 			// Fail-stop is slice-granular: a final slice may overrun the
 			// fail time, so the device's effective lifetime stretches to
 			// its last clock tick (keeping Busy ≤ Lifetime).
-			if n := d.loop.Now(); n > life {
-				life = n
+			if n := d.loop.Now(); n > end {
+				end = n
 			}
+		case d.drained:
+			end = d.drainEnd
+		case d.warming:
+			// Claimed from the warm pool but the run ended before its
+			// warm-up elapsed: it never served and never cost live time.
+			end = d.joinAt
 		}
-		out.Devices[i] = metrics.FleetDevice{
-			Busy:     d.loop.Busy(),
-			Lifetime: life,
-			Served:   d.served,
-			Tokens:   d.tokens,
-			Failed:   !d.alive,
+		life := end - d.joinAt
+		if life < 0 {
+			life = 0
+		}
+		r.out.Devices[i] = metrics.FleetDevice{
+			Busy:      d.loop.Busy(),
+			Lifetime:  life,
+			LiveStart: d.joinAt,
+			Served:    d.served,
+			Tokens:    d.tokens,
+			Failed:    !d.alive,
+			Drained:   d.drained,
 		}
 	}
-	return out, nil
+	if r.el != nil {
+		r.el.finish(r.out)
+	}
 }
 
 // prefixKey identifies a request's shared prompt prefix: requests for the

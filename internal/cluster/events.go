@@ -103,6 +103,14 @@ func (w *wakeHeap) Pop() any {
 	return it
 }
 
+// grow extends the heap's device-index space by n devices (warm-pool
+// joins): the new devices start absent.
+func (w *wakeHeap) grow(n int) {
+	for i := 0; i < n; i++ {
+		w.pos = append(w.pos, -1)
+	}
+}
+
 // update sets (or inserts) the device's wake time.
 func (w *wakeHeap) update(dev int, at float64) {
 	if p := w.pos[dev]; p >= 0 {

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"fasttts/internal/control"
 	"fasttts/internal/core"
 	"fasttts/internal/hw"
 	"fasttts/internal/rng"
@@ -141,6 +142,126 @@ func TestEveryRouterPreservesRequestMultiset(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, qc(t, 60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// elasticCase extends fleetCase with a randomized controller schedule:
+// a random policy, control interval, warm-pool size, and warm-up delay.
+type elasticCase struct {
+	Fleet      fleetCase
+	Controller int     // index into control.Names()
+	Interval   float64 // control period
+	WarmCount  int     // warm-pool templates
+	Warmup     float64 // join warm-up delay
+	MaxTier    int
+}
+
+func (elasticCase) Generate(r *rand.Rand, size int) reflect.Value {
+	fc := fleetCase{}.Generate(r, size).Interface().(fleetCase)
+	return reflect.ValueOf(elasticCase{
+		Fleet:      fc,
+		Controller: r.Intn(len(control.Names())),
+		Interval:   0.5 + 10*r.Float64(),
+		WarmCount:  r.Intn(3),
+		Warmup:     3 * r.Float64(),
+		MaxTier:    r.Intn(3),
+	})
+}
+
+// TestDynamicMembershipPreservesRequestMultiset extends the conservation
+// law to the elastic control plane: under randomized controller
+// schedules — joins mid-stream, drains, budget-tier moves — composed
+// with random stragglers and fail-stops, no admitted request is ever
+// lost or duplicated, and drained devices never serve requests routed
+// after their drain.
+func TestDynamicMembershipPreservesRequestMultiset(t *testing.T) {
+	gpus := []hw.GPU{hw.RTX4090, hw.RTX4070Ti, hw.RTX3070Ti}
+	ds := workload.NewDataset(workload.MATH500, rng.New(7))
+	prop := func(ec elasticCase) bool {
+		c := ec.Fleet
+		var devices []Device
+		for i := range c.GPUs {
+			devices = append(devices, Device{
+				Config:   devConfig(t, gpus[c.GPUs[i]], 4, uint64(40+i)),
+				Slowdown: c.Slowdowns[i],
+				FailAt:   c.FailAts[i],
+			})
+		}
+		var warm []Device
+		for i := 0; i < ec.WarmCount; i++ {
+			warm = append(warm, Device{Config: devConfig(t, gpus[i%len(gpus)], 4, uint64(70+i))})
+		}
+		reqs := make([]core.Request, len(c.Probs))
+		for i, pi := range c.Probs {
+			reqs[i] = core.Request{Problem: ds.Problems[pi], Arrival: c.Arrivals[i], Tag: i}
+		}
+		router, err := RouterByName(RouterNames()[c.Router])
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		ctl, err := control.ByName(control.Names()[ec.Controller])
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		f, err := New(Config{Devices: devices, Router: router, Seed: 3, Control: &ControlConfig{
+			Controller:  ctl,
+			Interval:    ec.Interval,
+			Warm:        warm,
+			WarmupDelay: ec.Warmup,
+			MaxTier:     ec.MaxTier,
+			SLOLatency:  60,
+		}})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		out, err := f.Run(reqs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(out.Results) != len(reqs) {
+			t.Logf("%s/%s: %d results for %d requests", router.Name(), ctl.Name(), len(out.Results), len(reqs))
+			return false
+		}
+		seen := make(map[int]int)
+		for _, r := range out.Results {
+			seen[r.Tag]++
+			switch {
+			case r.Rejected && r.Result != nil:
+				t.Logf("rejected request %d carries a Result", r.Tag)
+				return false
+			case !r.Rejected && r.Result == nil:
+				t.Logf("served request %d missing its Result", r.Tag)
+				return false
+			case !r.Rejected && (r.Device < 0 || r.Device >= len(out.Devices)):
+				t.Logf("request %d served by device %d of %d", r.Tag, r.Device, len(out.Devices))
+				return false
+			case !r.Rejected && r.Device >= len(devices) && r.Start < out.Devices[r.Device].LiveStart:
+				t.Logf("warm device %d started request %d at %v before joining at %v",
+					r.Device, r.Tag, r.Start, out.Devices[r.Device].LiveStart)
+				return false
+			}
+		}
+		for i := range reqs {
+			if seen[i] != 1 {
+				t.Logf("%s/%s: request %d reported %d times", router.Name(), ctl.Name(), i, seen[i])
+				return false
+			}
+		}
+		// Device telemetry stays sane under dynamic membership.
+		for i, d := range out.Devices {
+			if d.Lifetime < 0 || d.Busy > d.Lifetime+1e-9 {
+				t.Logf("device %d busy %v exceeds live interval %v", i, d.Busy, d.Lifetime)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qc(t, 40)); err != nil {
 		t.Error(err)
 	}
 }

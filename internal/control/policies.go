@@ -1,0 +1,174 @@
+package control
+
+// The built-in control policies. All of them are deterministic functions
+// of the observed Signals and their internal state; the rng stream is
+// part of the contract (a policy may dither) but the built-ins do not
+// consume randomness, which keeps their action logs independent of the
+// router's draw sequence.
+
+import "fasttts/internal/rng"
+
+// Static is the fixed-fleet baseline: it never acts. Running a fleet
+// under Static is bit-identical to running it with no controller at all
+// (ticks observe, actions never fire).
+type Static struct{}
+
+func (Static) Name() string                         { return "static" }
+func (Static) Decide(Signals, *rng.Stream) []Action { return nil }
+
+// Threshold is hysteresis scaling on queue delay and utilization: scale
+// up one device when the window's mean queue delay crosses HighDelay (or
+// utilization crosses HighUtil with a backlog), scale down one when the
+// fleet is demonstrably over-provisioned (low utilization, low delay).
+// A cooldown of Cooldown ticks after every action damps oscillation.
+type Threshold struct {
+	// HighDelay triggers scale-up when the window mean queue delay
+	// exceeds it (seconds).
+	HighDelay float64
+	// HighUtil triggers scale-up when window utilization exceeds it
+	// while a backlog is pending.
+	HighUtil float64
+	// LowUtil permits scale-down when window utilization is below it and
+	// queue delay is below HighDelay/4.
+	LowUtil float64
+	// Cooldown is how many ticks after an action the controller holds.
+	Cooldown int
+
+	cool int
+}
+
+// NewThreshold returns a Threshold controller with the default tuning.
+func NewThreshold() *Threshold {
+	return &Threshold{HighDelay: 10, HighUtil: 0.9, LowUtil: 0.35, Cooldown: 2}
+}
+
+func (t *Threshold) Name() string { return "threshold" }
+
+func (t *Threshold) Decide(sig Signals, _ *rng.Stream) []Action {
+	if t.cool > 0 {
+		t.cool--
+		return nil
+	}
+	overloaded := sig.QueueDelay > t.HighDelay ||
+		(sig.Utilization > t.HighUtil && sig.Pending > 2*sig.Routable)
+	if overloaded && sig.WarmAvailable > 0 && sig.Routable+sig.Warming < sig.MaxDevices {
+		t.cool = t.Cooldown
+		return []Action{{Verb: ScaleUp, N: 1}}
+	}
+	idle := sig.Utilization < t.LowUtil && sig.QueueDelay < t.HighDelay/4 &&
+		sig.Pending <= sig.Routable
+	if idle && sig.Warming == 0 && sig.Routable > sig.MinDevices {
+		t.cool = t.Cooldown
+		return []Action{{Verb: ScaleDown, N: 1}}
+	}
+	return nil
+}
+
+// PID tracks a queue-delay setpoint with a PID-style law: the control
+// output is mapped to a per-tick device delta in {-1, 0, +1}. The
+// integral term is clamped (anti-windup) so a long overload does not
+// force the fleet to stay scaled up long after the load clears.
+type PID struct {
+	// Target is the queue-delay setpoint in seconds.
+	Target float64
+	// Kp, Ki, Kd are the usual gains over the delay error.
+	Kp, Ki, Kd float64
+	// Deadband suppresses actuation while |output| is below it.
+	Deadband float64
+
+	integral float64
+	prevErr  float64
+	primed   bool
+}
+
+// NewPID returns a PID controller with the default tuning.
+func NewPID() *PID {
+	return &PID{Target: 5, Kp: 0.4, Ki: 0.05, Kd: 0.1, Deadband: 1}
+}
+
+func (p *PID) Name() string { return "pid" }
+
+func (p *PID) Decide(sig Signals, _ *rng.Stream) []Action {
+	err := sig.QueueDelay - p.Target
+	p.integral += err * sig.Interval
+	// Anti-windup: the integral may demand at most a few devices' worth
+	// of actuation in either direction.
+	if lim := 4 / maxF(p.Ki, 1e-9); p.integral > lim {
+		p.integral = lim
+	} else if p.integral < -lim {
+		p.integral = -lim
+	}
+	deriv := 0.0
+	if p.primed && sig.Interval > 0 {
+		deriv = (err - p.prevErr) / sig.Interval
+	}
+	p.prevErr, p.primed = err, true
+	out := p.Kp*err + p.Ki*p.integral + p.Kd*deriv
+	switch {
+	case out > p.Deadband && sig.WarmAvailable > 0 && sig.Routable+sig.Warming < sig.MaxDevices:
+		return []Action{{Verb: ScaleUp, N: 1}}
+	case out < -p.Deadband && sig.Warming == 0 && sig.Routable > sig.MinDevices &&
+		sig.Pending <= sig.Routable:
+		return []Action{{Verb: ScaleDown, N: 1}}
+	}
+	return nil
+}
+
+// Budget is the vertical-only compute-budget governor: it never changes
+// fleet membership, but degrades the per-request search budget (one tier
+// per tick, each tier halving effective NumBeams) while queue delay sits
+// above Degrade, and restores one tier per Calm consecutive calm ticks
+// once delay falls below Restore with the backlog drained. The
+// Degrade > Restore band plus the calm requirement keep the tier from
+// chattering between bursts of a periodic storm — one quiet window while
+// a burst's backlog drains must not hand the next burst a full budget.
+//
+// Paired with a horizontal policy the two would compose; the built-in
+// governor is deliberately vertical-only so its effect on the
+// SLO-vs-cost frontier is attributable to budget alone.
+type Budget struct {
+	// Degrade raises the tier while window queue delay exceeds it.
+	Degrade float64
+	// Restore lowers the tier while delay is below it and the backlog
+	// has drained to at most one request per routable device.
+	Restore float64
+	// Calm is how many consecutive calm ticks a restore needs (values
+	// below 1 mean 1).
+	Calm int
+
+	calm int
+}
+
+// NewBudget returns a Budget governor with the default tuning.
+func NewBudget() *Budget {
+	return &Budget{Degrade: 8, Restore: 2, Calm: 2}
+}
+
+func (b *Budget) Name() string { return "budget" }
+
+func (b *Budget) Decide(sig Signals, _ *rng.Stream) []Action {
+	need := b.Calm
+	if need < 1 {
+		need = 1
+	}
+	switch {
+	case sig.QueueDelay > b.Degrade && sig.Tier < sig.MaxTier:
+		b.calm = 0
+		return []Action{{Verb: SetTier, N: sig.Tier + 1}}
+	case sig.Tier > 0 && sig.QueueDelay < b.Restore && sig.Pending <= sig.Routable:
+		if b.calm++; b.calm >= need {
+			b.calm = 0
+			return []Action{{Verb: SetTier, N: sig.Tier - 1}}
+		}
+	default:
+		b.calm = 0
+	}
+	return nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

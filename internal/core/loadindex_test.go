@@ -49,7 +49,7 @@ func scanOutstandingWork(l *Loop) float64 {
 		}
 	}
 	for _, rq := range l.queue[l.next:] {
-		w += l.s.estimateWork(rq.Problem)
+		w += l.s.estimateWork(rq)
 	}
 	return w
 }

@@ -6,6 +6,7 @@ import (
 
 	"fasttts/internal/metrics"
 	"fasttts/internal/sched"
+	"fasttts/internal/search"
 	"fasttts/internal/workload"
 )
 
@@ -23,6 +24,14 @@ type Request struct {
 	// the ServedResult. The cluster layer uses it to track a request's
 	// identity across failure-induced requeues.
 	Tag int
+	// Width, when positive and below the server policy's configured
+	// width, narrows this request's effective search budget to Width
+	// parallel paths (clamped up to the algorithm's constructible
+	// minimum). Zero means the full configured budget. The elastic
+	// control plane's compute-budget governor sets it per request under
+	// load; both the admission-time demand estimate
+	// (sched.EstimateDemand) and the solver the request runs on honor it.
+	Width int
 }
 
 // ServedResult augments a solve result with queueing telemetry. Result is
@@ -44,6 +53,10 @@ type ServedResult struct {
 	// tokens minus speculative ones, plus the speculative tokens that
 	// surviving beams adopted. Server-level goodput sums this.
 	UsefulTokens int64
+	// Width is the effective search width the request was served at
+	// (the configured policy width unless the request carried a narrower
+	// budget override); 0 for rejected requests.
+	Width int
 	// Rejected marks requests shed by admission control.
 	Rejected bool
 	// Tag echoes the request's correlation tag.
@@ -129,7 +142,7 @@ func (s *Server) RunClosedLoop(probs []*workload.Problem, cl workload.ClosedLoop
 	}
 	l := &Loop{s: s, queue: queue, feeder: feeder, scale: 1}
 	for _, rq := range queue {
-		l.queuedWork += s.estimateWork(rq.Problem)
+		l.queuedWork += s.estimateWork(rq)
 	}
 	return l.StepTo(NoHorizon)
 }
@@ -192,7 +205,7 @@ func (s *Server) NewLoop(reqs []Request) *Loop {
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
 	l := &Loop{s: s, queue: queue, scale: 1}
 	for _, rq := range queue {
-		l.queuedWork += s.estimateWork(rq.Problem)
+		l.queuedWork += s.estimateWork(rq)
 	}
 	return l
 }
@@ -212,7 +225,7 @@ func (l *Loop) SetScale(f float64) {
 // later than the loop's clock is admitted on the next StepTo.
 func (l *Loop) Push(rq Request) {
 	l.queue = insertByArrival(l.queue, l.next, rq)
-	l.queuedWork += l.s.estimateWork(rq.Problem)
+	l.queuedWork += l.s.estimateWork(rq)
 	l.reanchorWork()
 }
 
@@ -263,7 +276,7 @@ func (l *Loop) reanchorWork() {
 	case qn == 0:
 		l.queuedWork = 0
 	case qn == 1:
-		l.queuedWork = l.s.estimateWork(l.queue[l.next].Problem)
+		l.queuedWork = l.s.estimateWork(l.queue[l.next])
 	}
 }
 
@@ -338,7 +351,7 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		}
 		if rq, ok := l.feeder(at); ok {
 			l.queue = insertByArrival(l.queue, l.next, rq)
-			l.queuedWork += l.s.estimateWork(rq.Problem)
+			l.queuedWork += l.s.estimateWork(rq)
 			l.reanchorWork()
 		}
 	}
@@ -356,7 +369,7 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		for l.next < len(l.queue) && l.queue[l.next].Arrival <= l.now {
 			rq := l.queue[l.next]
 			l.next++
-			est := l.s.estimateWork(rq.Problem)
+			est := l.s.estimateWork(rq)
 			l.queuedWork -= est
 			c := &session{req: rq, id: l.nextID, est: est}
 			l.nextID++
@@ -410,7 +423,18 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		}
 		c := live[pick]
 		if !c.started {
-			sv, err := newSolver(l.s.cfg, c.req.Problem, nil)
+			cfg := l.s.cfg
+			if w := l.s.effectiveWidth(c.req); w != cfg.Policy.Width() {
+				// Budget-degraded request: run the same algorithm at the
+				// narrowed width (the §4.1 search semantics are unchanged,
+				// only n shrinks).
+				pol, err := search.WithWidth(cfg.Policy, w)
+				if err != nil {
+					return out, fmt.Errorf("core: narrowing %s to width %d: %w", cfg.Policy.Name(), w, err)
+				}
+				cfg.Policy = pol
+			}
+			sv, err := newSolver(cfg, c.req.Problem, nil)
 			if err != nil {
 				return out, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
 			}
@@ -468,6 +492,7 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 				WallLatency:  l.now - c.req.Arrival,
 				Slices:       c.slices,
 				UsefulTokens: res.TokensDecoded - res.SpecTokens + res.SpecRetained,
+				Width:        l.s.effectiveWidth(c.req),
 				Tag:          c.req.Tag,
 			})
 			feed(l.now)
@@ -537,9 +562,23 @@ func (s *Server) viewOf(c *session) sched.ServeRequest {
 }
 
 // estimateWork predicts a request's total service demand in token units
-// for shortest-job ordering (see sched.EstimateDemand).
-func (s *Server) estimateWork(p *workload.Problem) float64 {
-	return sched.EstimateDemand(p, s.cfg.Policy.Width())
+// for shortest-job ordering (see sched.EstimateDemand), at the request's
+// effective search width — a budget-degraded request costs less, and the
+// SJF policy and least-work router see that.
+func (s *Server) estimateWork(rq Request) float64 {
+	return sched.EstimateDemand(rq.Problem, s.effectiveWidth(rq))
+}
+
+// effectiveWidth resolves a request's effective search width: the
+// configured policy width, narrowed by the request's budget override
+// when one is set. Overrides never widen the search beyond the
+// deployment's configured budget.
+func (s *Server) effectiveWidth(rq Request) int {
+	base := s.cfg.Policy.Width()
+	if rq.Width <= 0 || rq.Width >= base {
+		return base
+	}
+	return search.ClampWidth(s.cfg.Policy, rq.Width)
 }
 
 // Stats reduces served results to the server-level aggregates of package

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"fasttts/internal/sched"
+	"fasttts/internal/search"
+)
+
+// configWithWidth is serveConfig with an explicit beam width.
+func configWithWidth(t *testing.T, n int) Config {
+	t.Helper()
+	pol, err := search.New(search.BeamSearch, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return testConfig(t, pol, FastTTSOptions())
+}
+
+// TestWidthOverrideMatchesNarrowDeployment is the budget governor's
+// correctness anchor: serving a request at Width w on a width-W server
+// must be bit-identical to serving it on a server deployed at width w —
+// the override changes only n, nothing else about the search.
+func TestWidthOverrideMatchesNarrowDeployment(t *testing.T) {
+	probs := mixedProblems(t, 6)
+	reqs := poissonRequests(t, probs, 0.4, 11)
+	for i := range reqs {
+		reqs[i].Tag = i
+		reqs[i].Width = 4
+	}
+	overridden := runServer(t, configWithWidth(t, 8), sched.FCFS{}, reqs)
+
+	narrow := make([]Request, len(reqs))
+	copy(narrow, reqs)
+	for i := range narrow {
+		narrow[i].Width = 0
+	}
+	native := runServer(t, configWithWidth(t, 4), sched.FCFS{}, narrow)
+
+	if len(overridden) != len(native) {
+		t.Fatalf("%d vs %d results", len(overridden), len(native))
+	}
+	for i := range overridden {
+		a, b := overridden[i], native[i]
+		if a.Width != 4 {
+			t.Errorf("result %d served at width %d, want 4", i, a.Width)
+		}
+		if a.Finish != b.Finish || a.Start != b.Start || a.UsefulTokens != b.UsefulTokens ||
+			a.Slices != b.Slices || a.Tag != b.Tag {
+			t.Errorf("result %d diverges: override %+v vs native %+v", i,
+				servedSummary(a), servedSummary(b))
+		}
+	}
+}
+
+// servedSummary flattens the comparable telemetry for test failure
+// output.
+func servedSummary(sv ServedResult) map[string]any {
+	return map[string]any{
+		"start": sv.Start, "finish": sv.Finish, "tokens": sv.UsefulTokens,
+		"slices": sv.Slices, "width": sv.Width, "tag": sv.Tag,
+	}
+}
+
+// TestWidthOverrideSemantics pins the clamping rules: zero and oversize
+// overrides are no-ops, and estimates shrink with the width.
+func TestWidthOverrideSemantics(t *testing.T) {
+	cfg := configWithWidth(t, 8)
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mixedProblems(t, 1)[0]
+	full := srv.estimateWork(Request{Problem: p})
+	if got := srv.estimateWork(Request{Problem: p, Width: 16}); got != full {
+		t.Errorf("oversize override changed the estimate: %v vs %v", got, full)
+	}
+	halved := srv.estimateWork(Request{Problem: p, Width: 4})
+	if halved >= full {
+		t.Errorf("width 4 estimate %v not below width 8 estimate %v", halved, full)
+	}
+	if want := sched.EstimateDemand(p, 4); halved != want {
+		t.Errorf("estimate %v, want EstimateDemand at width 4 = %v", halved, want)
+	}
+	if got := srv.effectiveWidth(Request{Problem: p, Width: -3}); got != 8 {
+		t.Errorf("negative override gave width %d, want 8", got)
+	}
+}
+
+// TestWidthOverrideZeroIsIdentical asserts the zero value is inert: a
+// stream with Width 0 everywhere reproduces the pre-override engine
+// bit-identically (the golden-trace safety property).
+func TestWidthOverrideZeroIsIdentical(t *testing.T) {
+	probs := mixedProblems(t, 4)
+	reqs := poissonRequests(t, probs, 0.5, 3)
+	a := runServer(t, serveConfig(t), sched.SJF{}, reqs)
+	b := runServer(t, serveConfig(t), sched.SJF{}, reqs)
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].Finish != b[i].Finish || a[i].UsefulTokens != b[i].UsefulTokens {
+			t.Fatalf("result %d not reproducible", i)
+		}
+		if !a[i].Rejected && a[i].Width != serveConfig(t).Policy.Width() {
+			t.Errorf("result %d Width = %d, want policy width", i, a[i].Width)
+		}
+	}
+}
+
+// TestWithWidthClamps covers the search-side constructor used by the
+// governor.
+func TestWithWidthClamps(t *testing.T) {
+	for _, alg := range []search.Algorithm{search.BeamSearch, search.DVTS, search.BestOfN} {
+		pol, err := search.New(alg, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		narrowed, err := search.WithWidth(pol, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		want := 2
+		if alg == search.DVTS {
+			want = 4 // clamped to the branch factor
+		}
+		if narrowed.Width() != want {
+			t.Errorf("%s narrowed to %d, want %d", alg, narrowed.Width(), want)
+		}
+		if narrowed.Name() != pol.Name() || narrowed.BranchFactor() != pol.BranchFactor() {
+			t.Errorf("%s: narrowing changed the algorithm", alg)
+		}
+		same, err := search.WithWidth(pol, 8)
+		if err != nil || same != pol {
+			t.Errorf("%s: same-width narrowing did not return the policy unchanged", alg)
+		}
+	}
+	if got := search.DegradedWidth(16, 0); got != 16 {
+		t.Errorf("DegradedWidth(16, 0) = %d", got)
+	}
+	if got := search.DegradedWidth(16, 2); got != 4 {
+		t.Errorf("DegradedWidth(16, 2) = %d", got)
+	}
+	if got := search.DegradedWidth(2, 5); got != 1 {
+		t.Errorf("DegradedWidth(2, 5) = %d", got)
+	}
+}

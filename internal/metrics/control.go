@@ -1,0 +1,72 @@
+package metrics
+
+// Controller-level aggregates for the elastic control plane: what the
+// feedback loop actually did (scaling actions, budget-tier moves), what
+// the elasticity cost (device-seconds), and the SLO-vs-cost frontier
+// used to compare controllers.
+
+import "sort"
+
+// ControlStats summarizes one controller-driven fleet run. The zero
+// value describes a run without a controller.
+type ControlStats struct {
+	// Ticks counts control intervals the controller observed.
+	Ticks int
+	// ScaleUps / ScaleDowns count devices actually added from the warm
+	// pool / put into drain (after clamping, not as requested).
+	ScaleUps, ScaleDowns int
+	// TierChanges counts applied budget-tier moves; FinalTier is the
+	// tier in effect when the run ended (0 = full search budget).
+	TierChanges int
+	FinalTier   int
+	// PeakDevices is the maximum concurrently routable device count.
+	PeakDevices int
+	// DegradedRequests counts requests routed while the budget tier was
+	// above 0 (served with a narrowed search width).
+	DegradedRequests int
+}
+
+// CostPoint is one run on the SLO-vs-cost plane: the device-seconds the
+// fleet consumed against the SLO attainment it bought.
+type CostPoint struct {
+	// Label names the run (typically the controller name).
+	Label string
+	// DeviceSeconds is the summed live time of every fleet member.
+	DeviceSeconds float64
+	// SLOAttainment is the run's SLO attainment in [0, 1].
+	SLOAttainment float64
+}
+
+// Frontier returns the Pareto-efficient subset of the SLO-vs-cost
+// points — the runs for which no other run attains at least the same SLO
+// fraction at lower cost (or more at the same cost) — sorted by
+// ascending device-seconds, ties by label for determinism. Dominated
+// controllers are exactly the ones not worth running.
+func Frontier(points []CostPoint) []CostPoint {
+	var out []CostPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			betterCost := q.DeviceSeconds < p.DeviceSeconds
+			betterSLO := q.SLOAttainment > p.SLOAttainment
+			noWorse := q.DeviceSeconds <= p.DeviceSeconds && q.SLOAttainment >= p.SLOAttainment
+			if noWorse && (betterCost || betterSLO) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DeviceSeconds != out[j].DeviceSeconds {
+			return out[i].DeviceSeconds < out[j].DeviceSeconds
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}

@@ -12,16 +12,24 @@ type FleetDevice struct {
 	// Busy is the wall-clock time the device spent executing slices
 	// (including partial work lost to fail-stop).
 	Busy float64
-	// Lifetime is how long the device was part of the fleet: its fail-stop
-	// time (stretched through a final overrunning slice, so Busy never
-	// exceeds it) if it failed, otherwise the fleet makespan.
+	// Lifetime is the length of the device's *live* interval: from its
+	// join time (0 for founding members) to its fail-stop time (stretched
+	// through a final overrunning slice, so Busy never exceeds it), its
+	// drain completion, or the fleet makespan — whichever ended its
+	// membership.
 	Lifetime float64
+	// LiveStart is the fleet time the device became routable: 0 for
+	// founding members, the warm-up completion time for devices the
+	// control plane added from the warm pool.
+	LiveStart float64
 	// Served counts requests the device completed; Tokens sums their
 	// useful generated output.
 	Served int
 	Tokens int64
-	// Failed marks devices that fail-stopped during the run.
-	Failed bool
+	// Failed marks devices that fail-stopped during the run; Drained
+	// marks devices the control plane deliberately drained out.
+	Failed  bool
+	Drained bool
 }
 
 // FleetDeviceStats augments a device's telemetry with derived rates.
@@ -53,6 +61,13 @@ type FleetStats struct {
 	PrefixHitRate float64
 	// FailedDevices counts devices that fail-stopped during the run.
 	FailedDevices int
+	// DeviceSeconds is the fleet's capacity cost: the summed live time of
+	// every member (founding, joined, drained, failed). The SLO-vs-cost
+	// frontier (see Frontier) plots it against SLOAttainment.
+	DeviceSeconds float64
+	// Control summarizes the elastic control plane's activity; nil when
+	// the run had no controller.
+	Control *ControlStats
 }
 
 // FleetInput bundles the inputs of SummarizeFleet.
@@ -69,6 +84,9 @@ type FleetInput struct {
 	// SLOLatency is the wall-latency target in seconds; <= 0 disables SLO
 	// accounting.
 	SLOLatency float64
+	// Control, when non-nil, is the controller activity summary carried
+	// through to FleetStats.Control.
+	Control *ControlStats
 }
 
 // SummarizeFleet reduces a fleet-served stream plus per-device telemetry
@@ -77,6 +95,22 @@ func SummarizeFleet(in FleetInput) FleetStats {
 	st := FleetStats{
 		ServeStats: SummarizeServe(in.Samples, in.SLOLatency),
 		Requeues:   in.Requeues,
+		Control:    in.Control,
+	}
+	// The imbalance coefficient compares per-device busy time, but a
+	// device the control plane added late (or drained early) was only
+	// live for part of the run — its raw busy time under-reads its load,
+	// not the balance of the routing. Planned-membership devices are
+	// therefore time-weighted: their busy time is scaled to the longest
+	// live interval in the fleet. Founding full-run devices (and
+	// fail-stopped ones, whose lost capacity is real imbalance) keep raw
+	// busy time, so static-membership fleets reproduce the historical
+	// value bit-identically.
+	ref := 0.0
+	for _, d := range in.Devices {
+		if d.Lifetime > ref {
+			ref = d.Lifetime
+		}
 	}
 	busy := make([]float64, 0, len(in.Devices))
 	for _, d := range in.Devices {
@@ -89,7 +123,12 @@ func SummarizeFleet(in FleetInput) FleetStats {
 			st.FailedDevices++
 		}
 		st.Devices = append(st.Devices, ds)
-		busy = append(busy, d.Busy)
+		st.DeviceSeconds += d.Lifetime
+		b := d.Busy
+		if (d.Drained || d.LiveStart > 0) && !d.Failed && d.Lifetime > 0 && ref > 0 {
+			b = d.Busy / d.Lifetime * ref
+		}
+		busy = append(busy, b)
 	}
 	st.ImbalanceCV = CoefficientOfVariation(busy)
 	if total := in.PrefixHits + in.PrefixMisses; total > 0 {

@@ -16,13 +16,20 @@
 //
 // The catalog (see All):
 //
-//	steady       uniform-spacing single-dataset baseline
-//	diurnal      sinusoidal-rate arrivals over a day-like cycle
-//	flash-crowd  low base rate with a sudden 8× arrival spike
-//	heavy-tail   problem mix dominated by heavy-tailed AIME service demand
-//	tenant-mix   multi-dataset tenants with priorities and SLO deadlines
-//	fleet-churn  staggered device fail-stops plus a straggler
-//	burst-storm  repeated synchronized bursts against admission limits
+//	steady             uniform-spacing single-dataset baseline
+//	diurnal            sinusoidal-rate arrivals over a day-like cycle
+//	flash-crowd        low base rate with a sudden 8× arrival spike
+//	heavy-tail         problem mix dominated by heavy-tailed AIME service demand
+//	tenant-mix         multi-dataset tenants with priorities and SLO deadlines
+//	fleet-churn        staggered device fail-stops plus a straggler
+//	burst-storm        repeated synchronized bursts against admission limits
+//	autoscale-diurnal  threshold controller scales a warm pool to a sinusoidal rate
+//	flash-absorb       PID controller absorbs a flash crowd with warm-pool joins
+//	budget-storm       compute-budget governor degrades search width under bursts
+//
+// The last three attach the elastic control plane (internal/control) on
+// the cluster target; on the server target they serve the same stream on
+// a fixed single device, which keeps the two targets comparable.
 package scenario
 
 import (
@@ -77,6 +84,27 @@ type Device struct {
 	FailAt float64
 }
 
+// Autoscale is a scenario's elastic control plane: the controller
+// policy, its cadence, and the warm pool it may scale into. It applies
+// only to the cluster target (a single server has no fleet to scale).
+type Autoscale struct {
+	// Controller names the control policy ("static", "threshold", "pid",
+	// "budget").
+	Controller string
+	// Interval is the control period in fleet seconds.
+	Interval float64
+	// WarmupDelay is the prefill/warm-up delay before a scale-up's device
+	// becomes routable.
+	WarmupDelay float64
+	// Warm holds the warm-pool device templates.
+	Warm []Device
+	// MinDevices / MaxDevices bound the actuation range (0 = defaults).
+	MinDevices, MaxDevices int
+	// MaxTier is the deepest compute-budget degradation tier (0 = the
+	// public-API default).
+	MaxTier int
+}
+
 // Spec is one materializable scenario instance: everything needed to
 // serve the stream on a Server or a Cluster.
 type Spec struct {
@@ -96,6 +124,9 @@ type Spec struct {
 	// SLOLatency is the per-request wall-latency target in seconds used by
 	// stats on both targets; 0 disables SLO accounting.
 	SLOLatency float64
+	// Autoscale, when non-nil, attaches the elastic control plane on the
+	// cluster target.
+	Autoscale *Autoscale
 }
 
 // Params scales a scenario. The zero value selects scenario defaults.
@@ -161,6 +192,21 @@ func All() []Scenario {
 			Name:        "burst-storm",
 			Description: "repeated synchronized bursts against per-device admission limits",
 			Build:       buildBurstStorm,
+		},
+		{
+			Name:        "autoscale-diurnal",
+			Description: "diurnal scale-to-fit: threshold controller tracks a sinusoidal rate with a warm pool",
+			Build:       buildAutoscaleDiurnal,
+		},
+		{
+			Name:        "flash-absorb",
+			Description: "flash-crowd absorb: PID controller soaks an 8x spike with warm-pool joins",
+			Build:       buildFlashAbsorb,
+		},
+		{
+			Name:        "budget-storm",
+			Description: "budget-degrade-under-storm: compute-budget governor narrows search width under bursts",
+			Build:       buildBudgetStorm,
 		},
 	}
 }
@@ -379,5 +425,92 @@ func buildBurstStorm(p Params) Spec {
 		Devices:    devices,
 		Router:     "p2c",
 		SLOLatency: 90,
+	}
+}
+
+// --- elastic (controller-driven) scenarios ---
+
+func buildAutoscaleDiurnal(p Params) Spec {
+	p = p.withDefaults(30)
+	r := rng.New(p.Seed).Child("scenario/autoscale-diurnal")
+	// Full-amplitude sinusoid: the rate swings from 0 to 2x base over a
+	// 240s cycle — peaks overload the 2-device founding fleet, troughs
+	// idle it, exactly the shape scale-to-fit should track.
+	arrivals := workload.SinusoidalArrivals(p.Requests, 0.09, 1, 240, r.Child("arrivals"))
+	return Spec{
+		Name:     "autoscale-diurnal",
+		Seed:     p.Seed,
+		Requests: mixProblems(arrivals, singleDataset("MATH500"), r.Child("mix")),
+		Serve:    Serve{Policy: "fcfs"},
+		Devices: []Device{
+			{GPU: "RTX 4090", NumBeams: 8, Seed: p.Seed + 1},
+			{GPU: "RTX 4070 Ti", NumBeams: 8, Seed: p.Seed + 2},
+		},
+		Router:     "least-work",
+		SLOLatency: 300,
+		Autoscale: &Autoscale{
+			Controller:  "threshold",
+			Interval:    30,
+			WarmupDelay: 10,
+			Warm: []Device{
+				{GPU: "RTX 4090", NumBeams: 8, Seed: p.Seed + 10},
+				{GPU: "RTX 4090", NumBeams: 8, Seed: p.Seed + 11},
+			},
+		},
+	}
+}
+
+func buildFlashAbsorb(p Params) Spec {
+	p = p.withDefaults(28)
+	r := rng.New(p.Seed).Child("scenario/flash-absorb")
+	// A quiet 0.05 req/s baseline with a 90s window at 8x: the spike
+	// swamps the 2-device founding fleet until the controller joins warm
+	// capacity, then the tail under-loads it back down.
+	arrivals := workload.FlashCrowdArrivals(p.Requests, 0.05, 60, 90, 8, r.Child("arrivals"))
+	mix := []mixEntry{{"MATH500", 0.8}, {"AMC23", 0.2}}
+	return Spec{
+		Name:     "flash-absorb",
+		Seed:     p.Seed,
+		Requests: mixProblems(arrivals, mix, r.Child("mix")),
+		Serve:    Serve{Policy: "fcfs"},
+		Devices: []Device{
+			{GPU: "RTX 4090", NumBeams: 8, Seed: p.Seed + 1},
+			{GPU: "RTX 3070 Ti", NumBeams: 8, Seed: p.Seed + 2},
+		},
+		Router:     "jsq",
+		SLOLatency: 240,
+		Autoscale: &Autoscale{
+			Controller:  "pid",
+			Interval:    15,
+			WarmupDelay: 8,
+			Warm: []Device{
+				{GPU: "RTX 4090", NumBeams: 8, Seed: p.Seed + 10},
+				{GPU: "RTX 4070 Ti", NumBeams: 8, Seed: p.Seed + 11},
+			},
+		},
+	}
+}
+
+func buildBudgetStorm(p Params) Spec {
+	p = p.withDefaults(24)
+	r := rng.New(p.Seed).Child("scenario/budget-storm")
+	// Synchronized bursts of 8 against a fixed 3-device fleet: no warm
+	// pool — the only lever is the vertical one, degrading per-request
+	// search width while the storm's backlog drains.
+	arrivals := workload.BurstArrivals(p.Requests, 8, 45)
+	reqs := mixProblems(arrivals, singleDataset("MATH500"), r.Child("mix"))
+	return Spec{
+		Name:       "budget-storm",
+		Seed:       p.Seed,
+		Requests:   reqs,
+		Serve:      Serve{Policy: "sjf"},
+		Devices:    defaultFleet(p.Seed),
+		Router:     "least-work",
+		SLOLatency: 150,
+		Autoscale: &Autoscale{
+			Controller: "budget",
+			Interval:   10,
+			MaxTier:    2,
+		},
 	}
 }

@@ -42,8 +42,17 @@ func TestBuildSpecs(t *testing.T) {
 			if len(spec.Requests) == 0 {
 				t.Fatal("empty request stream")
 			}
-			if len(spec.Devices) < 3 {
-				t.Errorf("%d devices, want >= 3 for the cluster target", len(spec.Devices))
+			reachable := len(spec.Devices)
+			if spec.Autoscale != nil {
+				reachable += len(spec.Autoscale.Warm)
+			}
+			if reachable < 3 {
+				t.Errorf("%d reachable devices (founding + warm pool), want >= 3 for the cluster target", reachable)
+			}
+			if a := spec.Autoscale; a != nil {
+				if a.Controller == "" || a.Interval <= 0 {
+					t.Errorf("autoscale spec incomplete: %+v", a)
+				}
 			}
 			if spec.Seed == 0 {
 				t.Error("spec did not record its run seed")

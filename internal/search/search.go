@@ -102,6 +102,49 @@ func New(alg Algorithm, n, b int) (Policy, error) {
 	return nil, fmt.Errorf("search: unknown algorithm %q", alg)
 }
 
+// WithWidth re-derives the policy's algorithm at a different search
+// width n, preserving the branch factor — the vertical knob of the
+// elastic control plane's compute-budget governor. The width is clamped
+// to stay constructible: at least 1, and at least the branch factor for
+// the algorithms that require n >= b (DVTS, MCTS). Asking for the
+// policy's current width returns the policy unchanged.
+func WithWidth(p Policy, n int) (Policy, error) {
+	n = ClampWidth(p, n)
+	if n == p.Width() {
+		return p, nil
+	}
+	return New(Algorithm(p.Name()), n, p.BranchFactor())
+}
+
+// ClampWidth returns the nearest width to n that p's algorithm can be
+// constructed with: at least 1, and at least the branch factor for the
+// algorithms that require n >= b. Demand estimators use it so the
+// estimate and the actual narrowed policy agree on the width.
+func ClampWidth(p Policy, n int) int {
+	if n < 1 {
+		n = 1
+	}
+	alg := Algorithm(p.Name())
+	if b := p.BranchFactor(); (alg == DVTS || alg == MCTS) && n < b {
+		n = b
+	}
+	return n
+}
+
+// DegradedWidth maps a compute-budget tier to an effective search width:
+// tier 0 is the full width, and every deeper tier halves it (floored at
+// the branch factor via WithWidth's clamping, and at 1). This is the
+// budget schedule the fleet's vertical governor actuates.
+func DegradedWidth(width, tier int) int {
+	for ; tier > 0 && width > 1; tier-- {
+		width /= 2
+	}
+	if width < 1 {
+		return 1
+	}
+	return width
+}
+
 // sortByScore orders candidates by descending score, breaking ties by
 // ascending ID for determinism.
 func sortByScore(cands []Candidate) []Candidate {

@@ -27,7 +27,8 @@ type ScenarioInfo struct {
 
 // Scenarios lists the built-in workload scenario catalog (see
 // internal/scenario): steady, diurnal, flash-crowd, heavy-tail,
-// tenant-mix, fleet-churn, and burst-storm.
+// tenant-mix, fleet-churn, burst-storm, and the controller-driven
+// autoscale-diurnal, flash-absorb, and budget-storm.
 func Scenarios() []ScenarioInfo {
 	var out []ScenarioInfo
 	for _, s := range scenario.All() {
@@ -135,11 +136,33 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioRun, error) {
 				FailAt:      d.FailAt,
 			}
 		}
+		var auto *AutoscaleConfig
+		if a := spec.Autoscale; a != nil {
+			warm := make([]DeviceSpec, len(a.Warm))
+			for i, d := range a.Warm {
+				warm[i] = DeviceSpec{
+					Config:      deviceConfig(d),
+					Policy:      d.Policy,
+					MaxInFlight: d.MaxInFlight,
+					Slowdown:    d.Slowdown,
+				}
+			}
+			auto = &AutoscaleConfig{
+				Policy:      a.Controller,
+				Interval:    a.Interval,
+				WarmPool:    warm,
+				WarmupDelay: a.WarmupDelay,
+				MinDevices:  a.MinDevices,
+				MaxDevices:  a.MaxDevices,
+				MaxTier:     a.MaxTier,
+			}
+		}
 		cl, err := NewCluster(ClusterConfig{
 			Devices:    devices,
 			Router:     spec.Router,
 			Seed:       spec.Seed,
 			SLOLatency: spec.SLOLatency,
+			Autoscale:  auto,
 		})
 		if err != nil {
 			return nil, err

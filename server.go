@@ -43,6 +43,10 @@ type ServedResult struct {
 	// tokens minus speculative ones, plus speculative tokens adopted by
 	// surviving beams); server-level goodput sums this.
 	UsefulTokens int64
+	// Width is the effective search width the request was served at: the
+	// deployment's configured NumBeams unless the elastic control plane's
+	// budget governor narrowed it. 0 for rejected requests.
+	Width int
 	// Rejected marks requests shed by admission control.
 	Rejected bool
 	// Tag identifies the request across the stream: its position in the
@@ -207,6 +211,27 @@ func BurstRequests(probs []*Problem, burst int, gap float64) []Request {
 	return withArrivals(probs, workload.BurstArrivals(len(probs), burst, gap))
 }
 
+// SinusoidalRequests assigns arrivals of a nonhomogeneous Poisson
+// process whose rate follows a diurnal cycle, λ(t) = base ·
+// (1 + amplitude·sin(2πt/period)), deterministically from the seed —
+// the workload shape the elastic control plane's scale-to-fit tracks.
+// It panics if base or period is not positive (see
+// workload.SinusoidalArrivals).
+func SinusoidalRequests(probs []*Problem, base, amplitude, period float64, seed uint64) []Request {
+	return withArrivals(probs, workload.SinusoidalArrivals(
+		len(probs), base, amplitude, period, rng.New(seed).Child("arrivals/sinusoidal")))
+}
+
+// FlashCrowdRequests assigns arrivals of a piecewise-rate Poisson
+// process: base requests/second everywhere except the flash-crowd
+// window [spikeStart, spikeStart+spikeDur), where the rate is
+// base·mult. It panics on a non-positive base or negative mult (see
+// workload.FlashCrowdArrivals).
+func FlashCrowdRequests(probs []*Problem, base, spikeStart, spikeDur, mult float64, seed uint64) []Request {
+	return withArrivals(probs, workload.FlashCrowdArrivals(
+		len(probs), base, spikeStart, spikeDur, mult, rng.New(seed).Child("arrivals/flash-crowd")))
+}
+
 func withArrivals(probs []*Problem, times []float64) []Request {
 	out := make([]Request, len(probs))
 	for i, p := range probs {
@@ -231,6 +256,7 @@ func wrapServed(served []core.ServedResult) []ServedResult {
 			WallLatency:  sv.WallLatency,
 			Slices:       sv.Slices,
 			UsefulTokens: sv.UsefulTokens,
+			Width:        sv.Width,
 			Rejected:     sv.Rejected,
 			Tag:          sv.Tag,
 		}
