@@ -27,7 +27,10 @@ cover:
 	$(GO) tool cover -func=coverage.out | tail -n 20
 
 # Scenario-conformance: replay every named scenario on both targets and
-# require bit-identical agreement with the committed golden traces.
+# require bit-identical agreement with the committed golden traces. The
+# TestGoldenScenarioTraces prefix also matches ...TracesSharded, which
+# replays every cluster golden through the sharded engine (Parallelism 8
+# and -1) against the same bytes.
 scenarios:
 	$(GO) test -count=1 -run 'TestGoldenScenarioTraces|TestGoldenTracesDecodable|TestScenarioRunDeterministic' -v .
 
@@ -48,14 +51,23 @@ bench-regress:
 #   fastttsbench -perf -perf-controller -perf-devices 256,1024 \
 #       -perf-requests 10000 -perf-routers rr,least-work \
 #       -perf-merge BENCH_core.json -out .
+# plus the sharded-engine scaling cells (wall clock by shard count, with
+# the measurement host's cores/gomaxprocs recorded) from
+#   fastttsbench -perf -perf-parallel -perf-devices 1024 \
+#       -perf-requests 100000 -perf-routers rr,least-work \
+#       -perf-shards 1,2,4,8 -perf-merge BENCH_core.json -out .
 # Refresh it when a PR claims a fleet-core speedup or touches the
-# control plane's hot path.
+# control plane's hot path or the shard layer.
 bench-perf:
 	$(GO) run ./cmd/fastttsbench -perf -perf-devices 8,64,256 \
 		-perf-requests 1000 -perf-routers rr,least-work,jsq,p2c,prefix \
 		-out bench-smoke
 	$(GO) run ./cmd/fastttsbench -perf -perf-controller -perf-devices 8,64,256 \
 		-perf-requests 1000 -perf-routers rr,least-work \
+		-perf-merge bench-smoke/BENCH_core.json -out bench-smoke
+	$(GO) run ./cmd/fastttsbench -perf -perf-parallel -perf-devices 256 \
+		-perf-requests 1000 -perf-routers rr,least-work \
+		-perf-shards 1,4,8 \
 		-perf-merge bench-smoke/BENCH_core.json -out bench-smoke
 
 # Regenerate the golden traces after an *intentional* behavior change.

@@ -93,6 +93,14 @@ type ClusterConfig struct {
 	SLOLatency float64
 	// Autoscale, when non-nil, attaches the elastic control plane.
 	Autoscale *AutoscaleConfig
+	// Parallelism selects the fleet execution engine: 0 or 1 runs the
+	// sequential event loop (the default), >= 2 runs the deterministic
+	// sharded engine with that many device shards (worker goroutines),
+	// and any negative value uses one shard per available core
+	// (runtime.GOMAXPROCS). Every setting produces bit-identical results
+	// — Parallelism trades wall-clock time only. See
+	// docs/ARCHITECTURE.md for the sharding protocol.
+	Parallelism int
 }
 
 // FleetResult is one fleet-served request: the usual ServedResult plus
@@ -210,6 +218,7 @@ type Cluster struct {
 	router  string
 	seed    uint64
 	slo     float64
+	shards  int
 }
 
 // FleetRun is the outcome of one Cluster.Run.
@@ -325,7 +334,7 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{devices: devices, names: names, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency}
+	c := &Cluster{devices: devices, names: names, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency, shards: cc.Parallelism}
 	if cc.Autoscale != nil {
 		auto := *cc.Autoscale
 		if _, err := control.ByName(auto.Policy); err != nil {
@@ -352,7 +361,7 @@ func (c *Cluster) newFleet() (*cluster.Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := cluster.Config{Devices: c.devices, Router: router, Seed: c.seed}
+	cfg := cluster.Config{Devices: c.devices, Router: router, Seed: c.seed, Shards: c.shards}
 	if c.auto != nil {
 		ctl, err := control.ByName(c.auto.Policy)
 		if err != nil {

@@ -98,6 +98,33 @@ type ctrlRun struct {
 	ScaleDowns int `json:"scale_downs"`
 }
 
+// parRun is one parallel-scaling cell: the identical fleet and stream
+// timed at one shard count. Shards == 1 is the sequential engine and the
+// denominator of SpeedupVsSeq.
+type parRun struct {
+	Devices  int     `json:"devices"`
+	Requests int     `json:"requests"`
+	Router   string  `json:"router"`
+	Shards   int     `json:"shards"`
+	WallMS   float64 `json:"wall_ms"`
+	// SpeedupVsSeq is the sequential cell's wall time over this one; the
+	// engines are bit-identical, so this is pure wall-clock scaling.
+	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+	Served       int     `json:"served"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// parSection is the parallel-scaling measurement set. Cores and
+// GOMAXPROCS record the measurement environment: shard workers cannot
+// run concurrently beyond min(cores, GOMAXPROCS), so speedups measured
+// on a small host understate what the same sweep shows on a wide one —
+// regenerate on the target machine rather than extrapolating.
+type parSection struct {
+	Cores      int      `json:"cores"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Runs       []parRun `json:"runs"`
+}
+
 // perfReport is the BENCH_core.json document.
 type perfReport struct {
 	Schema    string       `json:"schema"`
@@ -112,6 +139,10 @@ type perfReport struct {
 	// ctrlRun), produced by -perf-controller and merged alongside the
 	// main sweep.
 	ControllerOverhead []ctrlRun `json:"controller_overhead,omitempty"`
+	// ParallelScaling holds the sharded-engine wall-clock cells (see
+	// parRun), produced by -perf-parallel and merged alongside the main
+	// sweep.
+	ParallelScaling *parSection `json:"parallel_scaling,omitempty"`
 }
 
 // perfDeviceRate is the per-device arrival rate (req/s of virtual time).
@@ -390,6 +421,129 @@ func runControllerSweep(deviceList, requestList []int, routers []string, seed ui
 			}
 		}
 	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outDir != "" {
+		path := filepath.Join(outDir, coreArtifact)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
+	os.Stdout.Write(data)
+	return nil
+}
+
+// parCell measures one parallel-scaling cell: identical fleet, stream,
+// and seed to the router sweep, run on the engine the shard count
+// selects.
+func parCell(devices, requests, shards int, router string, seed uint64) (parRun, error) {
+	reps := 1
+	if requests < 10000 {
+		reps = 3
+	}
+	run := parRun{Devices: devices, Requests: requests, Router: router, Shards: shards}
+	reqs := perfStream(requests, devices, seed)
+	for rep := 0; rep < reps; rep++ {
+		specs, err := perfDevices(devices, seed)
+		if err != nil {
+			return run, err
+		}
+		r, err := cluster.RouterByName(router)
+		if err != nil {
+			return run, err
+		}
+		fleet, err := cluster.New(cluster.Config{Devices: specs, Router: r, Seed: seed, Shards: shards})
+		if err != nil {
+			return run, err
+		}
+		start := time.Now()
+		out, err := fleet.Run(reqs)
+		wall := time.Since(start)
+		if err != nil {
+			return run, err
+		}
+		ms := float64(wall.Nanoseconds()) / 1e6
+		if rep == 0 || ms < run.WallMS {
+			run.WallMS = ms
+		}
+		if rep == 0 {
+			for _, res := range out.Results {
+				if !res.Rejected {
+					run.Served++
+				}
+			}
+		}
+	}
+	if run.WallMS > 0 {
+		run.EventsPerSec = float64(requests) / (run.WallMS / 1e3)
+	}
+	return run, nil
+}
+
+// runParallelSweep measures the sharded engine's wall-clock scaling
+// across shard counts and writes (or merges into) BENCH_core.json: when
+// mergePath names an existing report, its other sections are preserved
+// and only parallel_scaling is replaced. Shard count 1 (the sequential
+// engine) is always measured first per (devices, requests, router) cell
+// as the speedup denominator; the serving results themselves are
+// bit-identical at every shard count, so served counts must agree across
+// a cell's rows — the sweep fails loudly if they do not.
+func runParallelSweep(deviceList, requestList, shardList []int, routers []string, seed uint64, mergePath, outDir string) error {
+	report := perfReport{
+		Schema:    "fasttts-bench-core/v1",
+		Seed:      seed,
+		GoVersion: runtime.Version(),
+		Current:   perfSection{Label: "event-heap"},
+	}
+	if mergePath != "" {
+		data, err := os.ReadFile(mergePath)
+		if err != nil {
+			return fmt.Errorf("perf merge: %w", err)
+		}
+		if err := json.Unmarshal(data, &report); err != nil {
+			return fmt.Errorf("perf merge %s: %w", mergePath, err)
+		}
+	}
+	shards := shardList
+	if len(shards) == 0 || shards[0] != 1 {
+		shards = append([]int{1}, shards...)
+	}
+	sec := &parSection{Cores: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, nd := range deviceList {
+		for _, nr := range requestList {
+			for _, router := range routers {
+				seqMS, seqServed := 0.0, 0
+				for _, ns := range shards {
+					if ns > nd {
+						continue // more shards than devices adds only idle workers
+					}
+					start := time.Now()
+					run, err := parCell(nd, nr, ns, router, seed)
+					if err != nil {
+						return fmt.Errorf("perf-parallel %dx%d/%s@%d: %w", nd, nr, router, ns, err)
+					}
+					if ns == 1 {
+						seqMS, seqServed = run.WallMS, run.Served
+					} else if run.Served != seqServed {
+						return fmt.Errorf("perf-parallel %dx%d/%s@%d: served %d != sequential %d (engines must be bit-identical)",
+							nd, nr, router, ns, run.Served, seqServed)
+					}
+					if seqMS > 0 && run.WallMS > 0 {
+						run.SpeedupVsSeq = round2(seqMS / run.WallMS)
+					}
+					sec.Runs = append(sec.Runs, run)
+					fmt.Fprintf(os.Stderr, "par  %4d dev x %6d req %-10s @%2d shards %10.1f ms  %5.2fx (%s)\n",
+						nd, nr, router, ns, run.WallMS, run.SpeedupVsSeq, time.Since(start).Round(time.Millisecond))
+				}
+			}
+		}
+	}
+	report.ParallelScaling = sec
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -55,6 +55,40 @@ func Example_baselineComparison() {
 	// true
 }
 
+// The parallel fleet engine: ClusterConfig.Parallelism shards a
+// 64-device fleet across worker goroutines. The engines are
+// bit-identical — same results, same stats, at any shard count — so
+// parallelism is purely a wall-clock knob on large fleets.
+func ExampleClusterConfig_parallelism() {
+	ds, _ := fasttts.LoadDataset("MATH500", 7)
+	reqs := make([]fasttts.Request, 256)
+	for i := range reqs {
+		reqs[i] = fasttts.Request{Problem: ds.Problems[i%32], ArrivalTime: float64(i) / 8}
+	}
+	run := func(parallelism int) fasttts.FleetStats {
+		cl, err := fasttts.NewCluster(fasttts.ClusterConfig{
+			Devices: []fasttts.DeviceSpec{
+				{Config: fasttts.Config{GPU: "RTX 4090", NumBeams: 4, Seed: 1}, Count: 32},
+				{Config: fasttts.Config{GPU: "RTX 4070 Ti", NumBeams: 4, Seed: 2}, Count: 32},
+			},
+			Router:      "least-work",
+			Seed:        9,
+			Parallelism: parallelism, // 0: sequential; >= 2: shards; < 0: one per core
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fr, err := cl.Run(reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fr.Stats()
+	}
+	seq, par := run(0), run(8)
+	fmt.Println(len(seq.PerDevice), seq.Served == par.Served, seq.P99Latency == par.P99Latency, seq.ImbalanceCV == par.ImbalanceCV)
+	// Output: 64 true true true
+}
+
 // Serving a request stream with the two-phase preemptible scheduler.
 func ExampleServer() {
 	ds, _ := fasttts.LoadDataset("AMC23", 7)

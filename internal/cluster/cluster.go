@@ -24,12 +24,22 @@
 // extending the serving engine's determinism guarantee: equal seeds give
 // bit-identical fleet-served streams under every router — and, with a
 // controller attached, bit-identical controller action logs.
+//
+// The fleet has two execution engines behind one contract. The default
+// sequential event loop processes global events one at a time. With
+// Config.Shards >= 2 the sharded engine (shard.go) partitions devices
+// into per-shard wake heaps and advances them on parallel workers
+// between cross-shard events, merging completions in the sequential
+// engine's canonical order — outputs are bit-identical byte for byte,
+// at any GOMAXPROCS, for every router and controller. See
+// docs/ARCHITECTURE.md for the barrier protocol.
 package cluster
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"fasttts/internal/core"
@@ -69,6 +79,12 @@ type Config struct {
 	// feedback controller observing the fleet at a fixed interval and
 	// actuating warm-pool joins, drains, and compute-budget tiers.
 	Control *ControlConfig
+	// Shards selects the execution engine: 0 or 1 runs the sequential
+	// event loop, >= 2 runs the deterministic sharded engine with that
+	// many device shards (worker goroutines), and any negative value
+	// uses runtime.GOMAXPROCS(0) shards. Every setting produces
+	// bit-identical outcomes; Shards trades wall-clock time only.
+	Shards int
 }
 
 // Result is one fleet-served request: the device-level telemetry plus
@@ -182,15 +198,17 @@ type device struct {
 	lastBusy float64         // busy-time snapshot at the previous control tick
 	prefixes map[string]bool // prompt-prefix directory of the radix cache
 	marker   map[string]int  // prefix -> tag that marked it, until confirmed
+	acct     map[int]prefixAcct
 	served   int
 	tokens   int64
 }
 
 // prefixAcct is the deferred hit/miss accounting of one routed request:
 // counters move only once the device actually serves it — a request shed
-// by admission control prefills nothing.
+// by admission control prefills nothing. Entries live in the routed
+// device's own acct map (shard-owned state); a fail-stop strands its
+// entries harmlessly, since a failed device never settles.
 type prefixAcct struct {
-	dev    int
 	key    string
 	tokens int64
 	hit    bool
@@ -222,7 +240,6 @@ type run struct {
 	nextSeq     int
 	origArrival map[int]float64 // request tag -> submission time
 	requeues    map[int]int     // request tag -> displacement count
-	acct        map[int]prefixAcct
 
 	fails []failEvent
 	fp    int
@@ -236,8 +253,11 @@ type run struct {
 	vs      []DeviceView
 	posInVs []int
 
-	wake   *wakeHeap
+	wake   *wakeHeap // sequential engine's wake index; nil when sharded
 	dueBuf []int
+
+	sh  *shardSet          // sharded engine's state; nil when sequential
+	acc metrics.FleetAccum // prefix hit/miss counters, folded into out by finish
 
 	el *elastic // nil without a controller
 }
@@ -281,7 +301,6 @@ func (f *Fleet) newRun(reqs []core.Request) (*run, error) {
 		nextSeq:     len(reqs),
 		origArrival: origArrival,
 		requeues:    make(map[int]int),
-		acct:        make(map[int]prefixAcct),
 		fails:       failSchedule(devs),
 		routeRand:   rng.New(f.cfg.Seed).Child("cluster/router"),
 	}
@@ -318,6 +337,7 @@ func newDevice(spec Device, srv *core.Server, joinAt float64) *device {
 		joinAt:   joinAt,
 		prefixes: make(map[string]bool),
 		marker:   make(map[string]int),
+		acct:     make(map[int]prefixAcct),
 	}
 }
 
@@ -350,19 +370,20 @@ func (r *run) popArrival() pendingReq {
 
 // settlePrefix resolves a result's deferred prefix accounting: counts
 // the hit/miss when the device served the request, refunds the
-// optimistic directory mark when admission shed it before prefill.
-func (r *run) settlePrefix(sv core.ServedResult, dev int) {
-	a, ok := r.acct[sv.Tag]
-	if !ok || a.dev != dev {
+// optimistic directory mark when admission shed it before prefill. It
+// touches only the device's own maps and the caller's accumulator, so
+// shard workers settle their devices' results without coordination.
+func (d *device) settlePrefix(sv core.ServedResult, acc *metrics.FleetAccum) {
+	a, ok := d.acct[sv.Tag]
+	if !ok {
 		return
 	}
-	delete(r.acct, sv.Tag)
-	d := r.devs[dev]
+	delete(d.acct, sv.Tag)
 	switch {
 	case !sv.Rejected && a.hit:
-		r.out.PrefixHits += a.tokens
+		acc.PrefixHits += a.tokens
 	case !sv.Rejected:
-		r.out.PrefixMisses += a.tokens
+		acc.PrefixMisses += a.tokens
 		if d.marker[a.key] == sv.Tag {
 			delete(d.marker, a.key) // residency confirmed
 		}
@@ -370,6 +391,22 @@ func (r *run) settlePrefix(sv core.ServedResult, dev int) {
 		delete(d.prefixes, a.key) // shed before prefill: refund
 		delete(d.marker, a.key)
 	}
+}
+
+// buildResult turns one device completion into a fleet Result. A
+// requeued request keeps its original submission time in the
+// client-facing telemetry: the wait on its failed device still
+// happened. Safe on shard workers: requeue maps are read-only between
+// structural events.
+func (r *run) buildResult(sv core.ServedResult, dev int) Result {
+	if rq := r.requeues[sv.Tag]; rq > 0 {
+		sv.Arrival = r.origArrival[sv.Tag]
+		if !sv.Rejected {
+			sv.QueueDelay = sv.Start - sv.Arrival
+			sv.WallLatency = sv.Finish - sv.Arrival
+		}
+	}
+	return Result{ServedResult: sv, Device: dev, Requeues: r.requeues[sv.Tag]}
 }
 
 // refreshView is O(1) and called only for devices an event actually
@@ -401,12 +438,42 @@ func (r *run) dropView(dev int) {
 	}
 }
 
+// updateWake, wakeRemove, wakeGrow, and wakeLen address whichever wake
+// index drives this run: the sequential engine's single heap or the
+// sharded engine's per-shard heaps.
 func (r *run) updateWake(dev int) {
+	if r.sh != nil {
+		r.sh.updateWakeLocal(r, r.sh.shardOf(dev), dev)
+		return
+	}
 	if at, ok := r.devs[dev].loop.Wake(); ok {
 		r.wake.update(dev, at)
 	} else {
 		r.wake.remove(dev)
 	}
+}
+
+func (r *run) wakeRemove(dev int) {
+	if r.sh != nil {
+		r.sh.wakeRemove(dev)
+		return
+	}
+	r.wake.remove(dev)
+}
+
+func (r *run) wakeGrow(n int) {
+	if r.sh != nil {
+		r.sh.wakeGrow(n)
+		return
+	}
+	r.wake.grow(n)
+}
+
+func (r *run) wakeLen() int {
+	if r.sh != nil {
+		return r.sh.wakeLen()
+	}
+	return r.wake.Len()
 }
 
 // collect steps the devices whose wake time falls within the horizon, in
@@ -424,17 +491,8 @@ func (r *run) collect(horizon float64) error {
 			return fmt.Errorf("cluster: device %d: %w", i, err)
 		}
 		for _, sv := range served {
-			r.settlePrefix(sv, i)
-			if r.requeues[sv.Tag] > 0 {
-				sv.Arrival = r.origArrival[sv.Tag]
-				if !sv.Rejected {
-					sv.QueueDelay = sv.Start - sv.Arrival
-					sv.WallLatency = sv.Finish - sv.Arrival
-				}
-			}
-			r.out.Results = append(r.out.Results, Result{
-				ServedResult: sv, Device: i, Requeues: r.requeues[sv.Tag],
-			})
+			d.settlePrefix(sv, &r.acc)
+			r.out.Results = append(r.out.Results, r.buildResult(sv, i))
 			if !sv.Rejected {
 				d.served++
 				d.tokens += sv.UsefulTokens
@@ -461,7 +519,7 @@ func (r *run) failDevice(ft float64, fi int) {
 	d := r.devs[fi]
 	d.alive = false
 	d.failedAt = ft
-	r.wake.remove(fi)
+	r.wakeRemove(fi)
 	r.dropView(fi)
 	for _, rq := range d.loop.Fail() {
 		rq.Arrival = ft
@@ -478,8 +536,8 @@ func (r *run) routeArrival(pr pendingReq) error {
 	if len(r.vs) == 0 {
 		// Lost capacity: no routable device (all failed or drained). Shed
 		// the request at this instant, reported against its original
-		// submission time.
-		delete(r.acct, pr.req.Tag)
+		// submission time. (Any stale acct entry for a requeued request
+		// is stranded on its failed device and never settles.)
 		r.out.Results = append(r.out.Results, Result{
 			ServedResult: core.ServedResult{
 				Arrival: r.origArrival[pr.req.Tag], Start: at, Finish: at,
@@ -517,8 +575,8 @@ func (r *run) routeArrival(pr pendingReq) error {
 		d.prefixes[rv.PrefixKey] = true
 		d.marker[rv.PrefixKey] = pr.req.Tag
 	}
-	r.acct[pr.req.Tag] = prefixAcct{
-		dev: di, key: rv.PrefixKey,
+	d.acct[pr.req.Tag] = prefixAcct{
+		key:    rv.PrefixKey,
 		tokens: int64(pr.req.Problem.PromptTokens), hit: resident,
 	}
 	d.loop.Push(pr.req)
@@ -543,6 +601,10 @@ func (r *run) routeArrival(pr pendingReq) error {
 // refreshed incrementally for exactly the devices an event touched —
 // O(events·log devices) overall instead of the O(events·devices) full
 // re-scan per event.
+//
+// With Config.Shards >= 2, Run dispatches to the sharded engine
+// (shard.go), which produces bit-identical outcomes while advancing
+// device shards on parallel workers between cross-shard events.
 func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 	if f.used {
 		return nil, fmt.Errorf("cluster: Fleet is single-run; build a new Fleet per stream")
@@ -551,6 +613,13 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 	r, err := f.newRun(reqs)
 	if err != nil {
 		return nil, err
+	}
+	if ns := f.shards(); ns > 1 {
+		// Swap the wake index before any device has an entry: the sharded
+		// engine owns per-shard heaps instead of the single heap.
+		r.wake = nil
+		r.sh = newShardSet(r, ns)
+		return f.runSharded(r)
 	}
 
 	for {
@@ -595,6 +664,15 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 	}
 	r.finish()
 	return r.out, nil
+}
+
+// shards resolves Config.Shards: <0 means one shard per available core,
+// 0 and 1 select the sequential engine.
+func (f *Fleet) shards() int {
+	if f.cfg.Shards < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return f.cfg.Shards
 }
 
 // failAt is the time of the next scheduled fail-stop (meaningful only
@@ -651,6 +729,8 @@ func (r *run) finish() {
 			Drained:   d.drained,
 		}
 	}
+	r.out.PrefixHits = r.acc.PrefixHits
+	r.out.PrefixMisses = r.acc.PrefixMisses
 	if r.el != nil {
 		r.el.finish(r.out)
 	}

@@ -152,7 +152,7 @@ func (el *elastic) nextJoin() (float64, int, bool) {
 // are exhausted the controller has nothing left to influence and the
 // tick stream ends (the run then drains to completion).
 func (el *elastic) nextTickEvent(r *run, haveArrival bool) (float64, int, bool) {
-	if !haveArrival && r.wake.Len() == 0 && el.jp >= len(el.joins) {
+	if !haveArrival && r.wakeLen() == 0 && el.jp >= len(el.joins) {
 		return 0, evTick, false
 	}
 	return el.nextTick, evTick, true
@@ -284,7 +284,7 @@ func (el *elastic) scaleUp(r *run, now float64, n int) ActionRecord {
 		idx := len(r.devs)
 		r.devs = append(r.devs, dev)
 		r.posInVs = append(r.posInVs, -1)
-		r.wake.grow(1)
+		r.wakeGrow(1)
 		el.joins = append(el.joins, joinEvent{at: dev.joinAt, dev: idx})
 		rec.Devices = append(rec.Devices, idx)
 		rec.Applied++

@@ -59,6 +59,18 @@ type Router interface {
 	Route(rq RequestView, devices []DeviceView, r *rng.Stream) int
 }
 
+// ViewOblivious marks routers whose decisions never read device *load*
+// — DeviceView.Now, Pending, or OutstandingWork — only the routable
+// set's size and order plus private state. The sharded engine
+// (Config.Shards >= 2) can pre-route whole arrival spans for such
+// routers and replay devices barrier-free; view-reading routers make
+// every arrival a cross-shard synchronization point. A router that
+// reads load but implements this interface returning true breaks the
+// engines' bit-identity contract.
+type ViewOblivious interface {
+	RouteViewOblivious() bool
+}
+
 // Single routes every request to the first alive device: the
 // pass-through router. A 1-device fleet under Single reproduces the
 // single-Server results of the serving engine exactly.
@@ -66,6 +78,7 @@ type Single struct{}
 
 func (Single) Name() string                                     { return "single" }
 func (Single) Route(RequestView, []DeviceView, *rng.Stream) int { return 0 }
+func (Single) RouteViewOblivious() bool                         { return true }
 
 // RoundRobin cycles through the alive devices in index order,
 // oblivious to load and heterogeneity — the fleet baseline.
@@ -77,6 +90,7 @@ func (rr *RoundRobin) Route(_ RequestView, devices []DeviceView, _ *rng.Stream) 
 	rr.n++
 	return i
 }
+func (*RoundRobin) RouteViewOblivious() bool { return true }
 
 // WorkAware marks routers whose decisions read
 // DeviceView.OutstandingWork; the fleet computes that load signal —

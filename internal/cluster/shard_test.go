@@ -1,0 +1,242 @@
+package cluster
+
+// Sequential-vs-sharded equivalence: the sharded engine's contract is
+// bit-identical outcomes — not statistically close, not "equal within
+// epsilon" — for every router, controller, fault schedule, and shard
+// count, at any GOMAXPROCS. These tests compare full Outcome values
+// (every float compared exactly via reflect.DeepEqual) between the two
+// engines across fixed scenario tables and a randomized -quick.seed
+// property sweep.
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"fasttts/internal/control"
+	"fasttts/internal/core"
+	"fasttts/internal/hw"
+	"fasttts/internal/rng"
+	"fasttts/internal/workload"
+)
+
+// equivFleet builds a small heterogeneous fleet: a fast founder, a
+// straggler, a mid-run fail-stop, and a fourth plain member.
+func equivFleet(t testing.TB) []Device {
+	t.Helper()
+	return []Device{
+		{Config: devConfig(t, hw.RTX4090, 4, 40)},
+		{Config: devConfig(t, hw.RTX4070Ti, 4, 41), Slowdown: 2.5},
+		{Config: devConfig(t, hw.RTX3070Ti, 4, 42), FailAt: 12},
+		{Config: devConfig(t, hw.RTX4070Ti, 4, 43)},
+	}
+}
+
+// runEngines serves the same stream on the sequential engine and on the
+// sharded engine at the given shard count, and returns both outcomes.
+// mk must build a fresh Config per call: routers and controllers carry
+// state (round-robin counters, prefix homes, PID integrals), so the two
+// engines cannot share instances.
+func runEngines(t testing.TB, mk func() Config, reqs []core.Request, shards int) (*Outcome, *Outcome) {
+	t.Helper()
+	run := func(shards int) *Outcome {
+		cfg := mk()
+		cfg.Shards = shards
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := f.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	return run(0), run(shards)
+}
+
+// diffOutcomes reports the first divergence between two outcomes in a
+// reviewable form.
+func diffOutcomes(t *testing.T, label string, seq, sh *Outcome) {
+	t.Helper()
+	if reflect.DeepEqual(seq, sh) {
+		return
+	}
+	if len(seq.Results) != len(sh.Results) {
+		t.Errorf("%s: %d sequential results vs %d sharded", label, len(seq.Results), len(sh.Results))
+		return
+	}
+	for i := range seq.Results {
+		if !reflect.DeepEqual(seq.Results[i], sh.Results[i]) {
+			t.Errorf("%s: result %d diverges:\n  seq: %+v\n  shd: %+v", label, i, seq.Results[i], sh.Results[i])
+			return
+		}
+	}
+	if !reflect.DeepEqual(seq.Devices, sh.Devices) {
+		t.Errorf("%s: device telemetry diverges:\n  seq: %+v\n  shd: %+v", label, seq.Devices, sh.Devices)
+		return
+	}
+	if !reflect.DeepEqual(seq.Actions, sh.Actions) {
+		t.Errorf("%s: controller actions diverge:\n  seq: %+v\n  shd: %+v", label, seq.Actions, sh.Actions)
+		return
+	}
+	t.Errorf("%s: outcomes diverge (requeues %d/%d, prefix %d+%d / %d+%d)",
+		label, seq.Requeues, sh.Requeues,
+		seq.PrefixHits, seq.PrefixMisses, sh.PrefixHits, sh.PrefixMisses)
+}
+
+// TestShardedEquivalence compares the engines for every router over a
+// fleet with a straggler and a mid-run fail-stop (requeues included), at
+// shard counts below, at, and above the device count.
+func TestShardedEquivalence(t *testing.T) {
+	reqs := taggedStream(t, repeatedProblems(t, 60, 5), 2.0, 11)
+	for _, router := range RouterNames() {
+		for _, shards := range []int{2, 3, 8} {
+			mk := func() Config {
+				rt, err := RouterByName(router)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return Config{Devices: equivFleet(t), Router: rt, Seed: 3}
+			}
+			seq, sh := runEngines(t, mk, reqs, shards)
+			diffOutcomes(t, router+"/shards="+strconv.Itoa(shards), seq, sh)
+		}
+	}
+}
+
+// TestShardedEquivalenceElastic adds the control plane: a threshold
+// controller with a warm pool actually scaling up and down mid-stream,
+// plus budget tiers — ticks, joins, and drains all become barriers the
+// sharded engine must respect.
+func TestShardedEquivalenceElastic(t *testing.T) {
+	reqs := taggedStream(t, repeatedProblems(t, 80, 5), 4.0, 13)
+	warm := []Device{
+		{Config: devConfig(t, hw.RTX4090, 4, 70)},
+		{Config: devConfig(t, hw.RTX4070Ti, 4, 71)},
+	}
+	for _, router := range []string{"rr", "least-work", "prefix"} {
+		for _, ctlName := range control.Names() {
+			mk := func() Config {
+				rt, err := RouterByName(router)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ctl, err := control.ByName(ctlName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return Config{Devices: equivFleet(t), Router: rt, Seed: 3, Control: &ControlConfig{
+					Controller:  ctl,
+					Interval:    2.5,
+					Warm:        warm,
+					WarmupDelay: 1.0,
+					MaxTier:     2,
+					SLOLatency:  30,
+				}}
+			}
+			seq, sh := runEngines(t, mk, reqs, 4)
+			diffOutcomes(t, router+"/"+ctlName, seq, sh)
+		}
+	}
+}
+
+// shardedCase pairs a random fleet scenario with a random shard count.
+type shardedCase struct {
+	Fleet  fleetCase
+	Shards int
+}
+
+func (shardedCase) Generate(r *rand.Rand, size int) reflect.Value {
+	fc := fleetCase{}.Generate(r, size).Interface().(fleetCase)
+	return reflect.ValueOf(shardedCase{Fleet: fc, Shards: 2 + r.Intn(7)})
+}
+
+// TestShardedEquivalenceQuick is the randomized equivalence property:
+// under -quick.seed-driven fleets (random routers, stragglers,
+// fail-stops, streams) and shard counts, both engines produce identical
+// outcomes.
+func TestShardedEquivalenceQuick(t *testing.T) {
+	gpus := []hw.GPU{hw.RTX4090, hw.RTX4070Ti, hw.RTX3070Ti}
+	ds := workload.NewDataset(workload.MATH500, rng.New(7))
+	prop := func(sc shardedCase) bool {
+		c := sc.Fleet
+		var devices []Device
+		for i := range c.GPUs {
+			devices = append(devices, Device{
+				Config:   devConfig(t, gpus[c.GPUs[i]], 4, uint64(40+i)),
+				Slowdown: c.Slowdowns[i],
+				FailAt:   c.FailAts[i],
+			})
+		}
+		reqs := make([]core.Request, len(c.Probs))
+		for i, pi := range c.Probs {
+			reqs[i] = core.Request{Problem: ds.Problems[pi], Arrival: c.Arrivals[i], Tag: i}
+		}
+		mk := func() Config {
+			router, err := RouterByName(RouterNames()[c.Router])
+			if err != nil {
+				t.Fatal(err)
+			}
+			return Config{Devices: devices, Router: router, Seed: 3}
+		}
+		seq, sh := runEngines(t, mk, reqs, sc.Shards)
+		if !reflect.DeepEqual(seq, sh) {
+			t.Logf("router %s shards %d: outcomes diverge", RouterNames()[c.Router], sc.Shards)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, qc(t, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShardedGOMAXPROCSIndependent proves worker scheduling cannot leak
+// into results: the same sharded run at GOMAXPROCS 1 and 8 is
+// bit-identical (on any host — the property holds even when the host
+// has a single core, since it is enforced by construction, not timing).
+func TestShardedGOMAXPROCSIndependent(t *testing.T) {
+	reqs := taggedStream(t, repeatedProblems(t, 60, 5), 2.0, 11)
+	outs := make([]*Outcome, 0, 2)
+	for _, procs := range []int{1, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		rt, err := RouterByName("rr")
+		if err != nil {
+			runtime.GOMAXPROCS(prev)
+			t.Fatal(err)
+		}
+		f, err := New(Config{Devices: equivFleet(t), Router: rt, Seed: 3, Shards: 8})
+		if err != nil {
+			runtime.GOMAXPROCS(prev)
+			t.Fatal(err)
+		}
+		out, err := f.Run(reqs)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	if !reflect.DeepEqual(outs[0], outs[1]) {
+		t.Error("GOMAXPROCS=1 and GOMAXPROCS=8 sharded runs diverge")
+	}
+}
+
+// TestNegativeShardsUsesCores checks the auto knob: Shards < 0 resolves
+// to GOMAXPROCS-many shards and still matches the sequential engine.
+func TestNegativeShardsUsesCores(t *testing.T) {
+	reqs := taggedStream(t, repeatedProblems(t, 30, 4), 2.0, 17)
+	mk := func() Config {
+		rt, err := RouterByName("least-work")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Config{Devices: equivFleet(t), Router: rt, Seed: 3}
+	}
+	seq, sh := runEngines(t, mk, reqs, -1)
+	diffOutcomes(t, "auto-shards", seq, sh)
+}

@@ -156,6 +156,22 @@ const NoHorizon = -1.0
 // cluster fleet simulator drives N loops event-by-event with bounded
 // horizons, pushing arrivals as its routers assign them and withdrawing
 // work on fail-stop.
+//
+// Concurrency contract: a Loop is goroutine-confined — all calls on one
+// Loop must come from a single goroutine (or be externally ordered), but
+// distinct Loops share no mutable state even when built from one Server
+// (the Server is read-only after construction; each Loop owns its clock,
+// queue, sessions, solver, and rng streams), so any number of Loops may
+// be stepped concurrently. The sharded fleet engine relies on exactly
+// this: each shard worker steps only the Loops of the devices it owns.
+//
+// Determinism contract: StepTo is horizon-sensitive. The horizon is not
+// just a stopping time — it feeds the speculation-preemption probe as a
+// pending boundary, so StepTo(t1) followed by StepTo(t2) may slice work
+// differently than StepTo(t2) alone. Drivers that must reproduce each
+// other bit-for-bit (the sequential and sharded fleet engines) must
+// therefore present each Loop with the identical sequence of horizons,
+// not just the same final time.
 type Loop struct {
 	s        *Server
 	queue    []Request

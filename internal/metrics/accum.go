@@ -1,0 +1,115 @@
+package metrics
+
+// FleetAccum is a mergeable per-shard partial of SummarizeFleet's input.
+// The sharded fleet engine gives every shard worker its own accumulator;
+// merging them in any order and summarizing reproduces the sequential
+// FleetStats exactly, because every piece of state is either an
+// order-independent sum (prefix/requeue counters), keyed by a canonical
+// merge position (samples), or keyed by fleet device index (telemetry).
+
+type keyedSample struct {
+	key uint64
+	s   ServeSample
+}
+
+type keyedDevice struct {
+	index int
+	d     FleetDevice
+}
+
+// FleetAccum accumulates one shard's share of a fleet run. The zero
+// value is ready to use.
+type FleetAccum struct {
+	// Requeues counts failure-induced migrations observed by this shard.
+	Requeues int
+	// PrefixHits / PrefixMisses count prompt-prefix tokens settled by
+	// this shard's devices.
+	PrefixHits, PrefixMisses int64
+
+	samples []keyedSample
+	devices []keyedDevice
+}
+
+// AddSample records one served-stream sample at its canonical merge key
+// (the sample's position in the fleet's sequential result order, e.g.
+// window<<20 | device). Keys must be strictly increasing per accumulator
+// and unique across the accumulators that will be merged.
+func (a *FleetAccum) AddSample(key uint64, s ServeSample) {
+	a.samples = append(a.samples, keyedSample{key: key, s: s})
+}
+
+// AddDevice records one device's telemetry under its fleet index.
+// Indexes must be unique across the accumulators that will be merged —
+// the sharded engine guarantees this by device ownership.
+func (a *FleetAccum) AddDevice(index int, d FleetDevice) {
+	a.devices = append(a.devices, keyedDevice{index: index, d: d})
+}
+
+// Merge folds b into a: counters add, samples merge by key, devices
+// merge by index. b is left in an unspecified state.
+func (a *FleetAccum) Merge(b *FleetAccum) {
+	a.Requeues += b.Requeues
+	a.PrefixHits += b.PrefixHits
+	a.PrefixMisses += b.PrefixMisses
+	a.samples = mergeBy(a.samples, b.samples, func(x, y keyedSample) bool { return x.key < y.key })
+	a.devices = mergeBy(a.devices, b.devices, func(x, y keyedDevice) bool { return x.index < y.index })
+}
+
+// Input assembles the merged accumulator into a SummarizeFleet input:
+// samples in canonical key order, devices dense in index order (absent
+// indexes read as zero telemetry — they never occur when every shard
+// reports its devices).
+func (a *FleetAccum) Input(sloLatency float64, control *ControlStats) FleetInput {
+	in := FleetInput{
+		Requeues:     a.Requeues,
+		PrefixHits:   a.PrefixHits,
+		PrefixMisses: a.PrefixMisses,
+		SLOLatency:   sloLatency,
+		Control:      control,
+	}
+	in.Samples = make([]ServeSample, len(a.samples))
+	for i, ks := range a.samples {
+		in.Samples[i] = ks.s
+	}
+	maxIdx := -1
+	for _, kd := range a.devices {
+		if kd.index > maxIdx {
+			maxIdx = kd.index
+		}
+	}
+	in.Devices = make([]FleetDevice, maxIdx+1)
+	for _, kd := range a.devices {
+		in.Devices[kd.index] = kd.d
+	}
+	return in
+}
+
+// Summarize reduces the merged accumulator to FleetStats — identical to
+// SummarizeFleet over the sequential engine's input when the samples
+// carry the sequential result order as keys.
+func (a *FleetAccum) Summarize(sloLatency float64, control *ControlStats) FleetStats {
+	return SummarizeFleet(a.Input(sloLatency, control))
+}
+
+// mergeBy merges two slices, each already sorted by less, into one.
+func mergeBy[T any](xs, ys []T, less func(a, b T) bool) []T {
+	if len(ys) == 0 {
+		return xs
+	}
+	if len(xs) == 0 {
+		return append(xs, ys...)
+	}
+	out := make([]T, 0, len(xs)+len(ys))
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		if less(ys[j], xs[i]) {
+			out = append(out, ys[j])
+			j++
+		} else {
+			out = append(out, xs[i])
+			i++
+		}
+	}
+	out = append(out, xs[i:]...)
+	return append(out, ys[j:]...)
+}

@@ -1,0 +1,197 @@
+package metrics
+
+// The sharded fleet engine's metrics contract: splitting a run's samples,
+// device telemetry, and counters across per-shard FleetAccums and merging
+// them must reproduce the sequential SummarizeFleet bit for bit — every
+// float compared with ==, not a tolerance. The tables exercise the
+// order-sensitive reductions (time-weighted ImbalanceCV, DeviceSeconds,
+// latency percentiles over the sample order) at shard boundaries: empty
+// shards, single-device shards, interleaved device indexes, late joiners,
+// drained and failed members.
+
+import (
+	"reflect"
+	"testing"
+)
+
+// accumCase is one fleet run to split across shards.
+type accumCase struct {
+	name     string
+	samples  []ServeSample
+	devices  []FleetDevice
+	requeues int
+	hits     int64
+	misses   int64
+	slo      float64
+	control  *ControlStats
+}
+
+func accumCases() []accumCase {
+	return []accumCase{
+		{
+			name: "static-fleet",
+			samples: []ServeSample{
+				{Arrival: 0.1, Start: 0.1, Finish: 2.4, Tokens: 900},
+				{Arrival: 0.5, Start: 0.9, Finish: 3.3, Tokens: 1100},
+				{Arrival: 1.2, Start: 2.4, Finish: 5.0, Tokens: 800},
+				{Arrival: 2.0, Start: 2.0, Finish: 2.0, Rejected: true},
+				{Arrival: 2.5, Start: 3.3, Finish: 6.1, Tokens: 1250},
+			},
+			devices: []FleetDevice{
+				{Busy: 4.8, Lifetime: 6.1, Served: 3, Tokens: 2800},
+				{Busy: 2.7, Lifetime: 6.1, Served: 1, Tokens: 1250},
+			},
+			requeues: 0, hits: 300, misses: 700, slo: 4,
+		},
+		{
+			// A late joiner and a drained device trigger the time-weighted
+			// ImbalanceCV path (busy scaled to the longest lifetime), and a
+			// failed device keeps raw busy — the mix must survive arbitrary
+			// shard assignment.
+			name: "elastic-churn",
+			samples: []ServeSample{
+				{Arrival: 0.2, Start: 0.2, Finish: 1.9, Tokens: 640},
+				{Arrival: 0.8, Start: 1.9, Finish: 4.2, Tokens: 720},
+				{Arrival: 1.1, Start: 1.1, Finish: 1.1, Rejected: true},
+				{Arrival: 1.4, Start: 4.2, Finish: 7.7, Tokens: 1500},
+				{Arrival: 3.0, Start: 3.5, Finish: 6.0, Tokens: 980},
+				{Arrival: 3.2, Start: 6.0, Finish: 9.4, Tokens: 1210},
+			},
+			devices: []FleetDevice{
+				{Busy: 5.1, Lifetime: 9.4, Served: 2, Tokens: 1360},
+				{Busy: 3.0, Lifetime: 4.4, LiveStart: 2.5, Served: 2, Tokens: 2480}, // late joiner
+				{Busy: 1.2, Lifetime: 3.1, Failed: true, Served: 1, Tokens: 1210},   // raw busy
+				{Busy: 2.2, Lifetime: 5.0, Drained: true, Served: 1, Tokens: 980},   // scaled busy
+			},
+			requeues: 2, hits: 1280, misses: 320, slo: 5,
+			control: &ControlStats{Ticks: 4, ScaleUps: 1, ScaleDowns: 1, PeakDevices: 4},
+		},
+		{
+			// Zero-lifetime device (claimed from the warm pool, run ended
+			// before warm-up): contributes nothing to utilization, goodput,
+			// or the CV, but still occupies a device index.
+			name: "zero-lifetime-member",
+			samples: []ServeSample{
+				{Arrival: 0.3, Start: 0.3, Finish: 2.2, Tokens: 512},
+			},
+			devices: []FleetDevice{
+				{Busy: 1.9, Lifetime: 2.2, Served: 1, Tokens: 512},
+				{Busy: 0, Lifetime: 0, LiveStart: 2.0},
+			},
+			requeues: 0, hits: 0, misses: 512, slo: 0,
+		},
+		{
+			name:    "empty-run",
+			samples: nil,
+			devices: []FleetDevice{{Busy: 0, Lifetime: 3.5}},
+		},
+	}
+}
+
+// sequentialInput is the reference: the run reduced with no sharding.
+func (c *accumCase) sequentialInput() FleetInput {
+	return FleetInput{
+		Samples:      c.samples,
+		Devices:      c.devices,
+		Requeues:     c.requeues,
+		PrefixHits:   c.hits,
+		PrefixMisses: c.misses,
+		SLOLatency:   c.slo,
+		Control:      c.control,
+	}
+}
+
+// shardAccums splits the case across n accumulators the way the sharded
+// engine does: sample i keyed by its sequential position, device d owned
+// by shard d % n, counters spread round-robin.
+func (c *accumCase) shardAccums(n int) []*FleetAccum {
+	accs := make([]*FleetAccum, n)
+	for i := range accs {
+		accs[i] = &FleetAccum{}
+	}
+	for i, s := range c.samples {
+		accs[i%n].AddSample(uint64(i), s)
+	}
+	for d, dev := range c.devices {
+		accs[d%n].AddDevice(d, dev)
+	}
+	accs[0].Requeues = c.requeues
+	accs[len(accs)-1].PrefixHits = c.hits
+	accs[0].PrefixMisses = c.misses
+	return accs
+}
+
+func TestFleetAccumMergeMatchesSequential(t *testing.T) {
+	for _, c := range accumCases() {
+		for _, n := range []int{1, 2, 3, 7} {
+			accs := c.shardAccums(n)
+			merged := accs[0]
+			for _, b := range accs[1:] {
+				merged.Merge(b)
+			}
+			want := SummarizeFleet(c.sequentialInput())
+			got := merged.Summarize(c.slo, c.control)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/shards=%d: merged summary diverges\n got: %+v\nwant: %+v", c.name, n, got, want)
+			}
+		}
+	}
+}
+
+// TestFleetAccumMergeOrderIrrelevant merges the same shards in reversed
+// and rotated order: the canonical keys, not the merge order, define the
+// result.
+func TestFleetAccumMergeOrderIrrelevant(t *testing.T) {
+	c := accumCases()[1]
+	want := SummarizeFleet(c.sequentialInput())
+	orders := [][]int{{2, 0, 1}, {1, 2, 0}, {2, 1, 0}}
+	for _, order := range orders {
+		accs := c.shardAccums(3)
+		merged := &FleetAccum{}
+		for _, s := range order {
+			merged.Merge(accs[s])
+		}
+		if got := merged.Summarize(c.slo, c.control); !reflect.DeepEqual(got, want) {
+			t.Errorf("merge order %v diverges from sequential summary", order)
+		}
+	}
+}
+
+// TestFleetAccumEmptyShards merges accumulators that saw no work — the
+// common case for shards whose devices idled through a pass.
+func TestFleetAccumEmptyShards(t *testing.T) {
+	c := accumCases()[0]
+	want := SummarizeFleet(c.sequentialInput())
+	accs := c.shardAccums(2)
+	merged := &FleetAccum{}
+	merged.Merge(&FleetAccum{}) // empty into empty
+	merged.Merge(accs[0])
+	merged.Merge(&FleetAccum{}) // empty mid-sequence
+	merged.Merge(accs[1])
+	if got := merged.Summarize(c.slo, c.control); !reflect.DeepEqual(got, want) {
+		t.Error("empty shard accumulators perturbed the merged summary")
+	}
+}
+
+// TestFleetAccumInputShape pins the assembled FleetInput: samples in key
+// order and devices dense in index order, regardless of which shard
+// reported what.
+func TestFleetAccumInputShape(t *testing.T) {
+	a, b := &FleetAccum{}, &FleetAccum{}
+	a.AddSample(0, ServeSample{Tokens: 1})
+	b.AddSample(1, ServeSample{Tokens: 2})
+	a.AddSample(2, ServeSample{Tokens: 3})
+	b.AddDevice(3, FleetDevice{Served: 3})
+	a.AddDevice(0, FleetDevice{Served: 1})
+	a.Merge(b)
+	in := a.Input(0, nil)
+	if len(in.Samples) != 3 || in.Samples[0].Tokens != 1 || in.Samples[1].Tokens != 2 || in.Samples[2].Tokens != 3 {
+		t.Errorf("samples out of key order: %+v", in.Samples)
+	}
+	if len(in.Devices) != 4 || in.Devices[0].Served != 1 || in.Devices[3].Served != 3 {
+		t.Errorf("devices not dense by index: %+v", in.Devices)
+	}
+	if in.Devices[1] != (FleetDevice{}) || in.Devices[2] != (FleetDevice{}) {
+		t.Errorf("unreported device indexes must read as zero telemetry: %+v", in.Devices)
+	}
+}

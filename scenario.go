@@ -51,6 +51,13 @@ type ScenarioOptions struct {
 	// router); 0 means the scenario default (42). Equal options give
 	// bit-identical runs and therefore bit-identical traces.
 	Seed uint64
+	// Parallelism selects the cluster target's execution engine, exactly
+	// as ClusterConfig.Parallelism: 0 or 1 sequential, >= 2 that many
+	// device shards, negative one shard per core. Traces are bit-identical
+	// at every setting — the committed goldens replay unchanged — so this
+	// only trades wall-clock time on large scenarios. Ignored by the
+	// server target.
+	Parallelism int
 }
 
 // ScenarioRun is the outcome of one RunScenario call.
@@ -158,11 +165,12 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioRun, error) {
 			}
 		}
 		cl, err := NewCluster(ClusterConfig{
-			Devices:    devices,
-			Router:     spec.Router,
-			Seed:       spec.Seed,
-			SLOLatency: spec.SLOLatency,
-			Autoscale:  auto,
+			Devices:     devices,
+			Router:      spec.Router,
+			Seed:        spec.Seed,
+			SLOLatency:  spec.SLOLatency,
+			Autoscale:   auto,
+			Parallelism: opts.Parallelism,
 		})
 		if err != nil {
 			return nil, err
