@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench cover scenarios bench-regress bench-perf golden
+.PHONY: all build test lint bench cover scenarios bench-regress bench-perf bench-cache golden
 
 all: build lint test
 
@@ -69,6 +69,16 @@ bench-perf:
 		-perf-requests 1000 -perf-routers rr,least-work \
 		-perf-shards 1,4,8 \
 		-perf-merge bench-smoke/BENCH_core.json -out bench-smoke
+
+# KV memory-plane cache sweep: serve the cache-thrash few-shot stream
+# under every router × capacity regime (constrained / unconstrained /
+# uncached) and emit BENCH_cache.json. Exits nonzero unless the plane's
+# success metric holds: residency-aware routing (cache-aware, prefix)
+# beats load-only jsq on p99 by more when cache-constrained than when
+# capacity is plentiful. The run is deterministic, so the emitted cells
+# match the committed BENCH_cache.json up to elapsed_ms timings.
+bench-cache:
+	$(GO) run ./cmd/fastttsbench -cache -out .
 
 # Regenerate the golden traces after an *intentional* behavior change.
 # Review the resulting diff like code before committing it.

@@ -82,6 +82,9 @@ type ClusterConfig struct {
 	//	jsq         join the shortest queue
 	//	p2c         power-of-two-choices on expected drain time
 	//	prefix      prefix-affinity with load fallback (§4.2, inter-device)
+	//	cache-aware drain time plus re-prefill debt of non-resident prompt
+	//	            tokens (needs Config.KVPlane; degenerates to least-work
+	//	            without it)
 	Router string
 	// Seed drives the router's randomness (p2c) and the controller's;
 	// device engines draw from their own Config seeds. Equal seeds give
@@ -167,6 +170,17 @@ type FleetDeviceStats struct {
 	Failed      bool
 	// Drained marks devices the control plane drained out mid-run.
 	Drained bool
+	// KV memory-plane telemetry (all zero when Config.KVPlane is off):
+	// capacity and end-of-run usage in tokens, the occupancy fraction,
+	// prompt-prefix hit/miss/evicted token counts, and the total
+	// re-prefill latency the device charged for prompt misses.
+	CacheCapacityTokens int64
+	CacheUsedTokens     int64
+	CacheOccupancy      float64
+	CacheHitTokens      int64
+	CacheMissTokens     int64
+	CacheEvictedTokens  int64
+	ReprefillSeconds    float64
 }
 
 // FleetStats aggregates a fleet-served request stream: the server-level
@@ -184,7 +198,19 @@ type FleetStats struct {
 	// PrefixHitRate is the fleet prompt-prefix KV hit rate in tokens (0
 	// when no prefix traffic).
 	PrefixHitRate float64
-	FailedDevices int
+	// CacheHitRate is the fleet KV memory-plane hit rate in tokens:
+	// unlike PrefixHitRate (the routing directory's estimate), it
+	// reflects actual residency after capacity eviction. Zero when
+	// Config.KVPlane is off fleet-wide.
+	CacheHitRate float64
+	// CacheHitTokens / CacheMissTokens / CacheEvictedTokens sum the
+	// per-device memory-plane counters; ReprefillSeconds is the fleet's
+	// total re-prefill latency charged for prompt misses.
+	CacheHitTokens     int64
+	CacheMissTokens    int64
+	CacheEvictedTokens int64
+	ReprefillSeconds   float64
+	FailedDevices      int
 	// DeviceSeconds is the fleet's capacity cost: the summed live time of
 	// every member. The SLO-vs-cost tradeoff compares it against
 	// SLOAttainment across controllers.
@@ -251,6 +277,10 @@ func expandDeviceSpecs(specs []DeviceSpec, kind, defPrefix string, seen map[stri
 		if spec.Slowdown < 0 || math.IsNaN(spec.Slowdown) {
 			return nil, nil, fmt.Errorf("fasttts: %s %d (%s): Slowdown must be non-negative, got %v (0 means none)",
 				kind, i, describeSpec(spec, i), spec.Slowdown)
+		}
+		if spec.KVPlaneBytes < 0 {
+			return nil, nil, fmt.Errorf("fasttts: %s %d (%s): KVPlaneBytes must be non-negative, got %d (0 disables the memory plane)",
+				kind, i, describeSpec(spec, i), spec.KVPlaneBytes)
 		}
 		if math.IsNaN(spec.FailAt) {
 			return nil, nil, fmt.Errorf("fasttts: %s %d (%s): FailAt is NaN", kind, i, describeSpec(spec, i))
@@ -454,12 +484,17 @@ func (c *Cluster) deviceName(i int) string {
 
 func (c *Cluster) wrapFleetStats(m metrics.FleetStats) FleetStats {
 	st := FleetStats{
-		ServeStats:    wrapServeStats(m.ServeStats),
-		ImbalanceCV:   m.ImbalanceCV,
-		Requeues:      m.Requeues,
-		PrefixHitRate: m.PrefixHitRate,
-		FailedDevices: m.FailedDevices,
-		DeviceSeconds: m.DeviceSeconds,
+		ServeStats:         wrapServeStats(m.ServeStats),
+		ImbalanceCV:        m.ImbalanceCV,
+		Requeues:           m.Requeues,
+		PrefixHitRate:      m.PrefixHitRate,
+		CacheHitRate:       m.CacheHitRate,
+		CacheHitTokens:     m.CacheHitTokens,
+		CacheMissTokens:    m.CacheMissTokens,
+		CacheEvictedTokens: m.CacheEvictedTokens,
+		ReprefillSeconds:   m.ReprefillSeconds,
+		FailedDevices:      m.FailedDevices,
+		DeviceSeconds:      m.DeviceSeconds,
 	}
 	if m.Control != nil {
 		st.Control = &ControlStats{
@@ -474,17 +509,24 @@ func (c *Cluster) wrapFleetStats(m metrics.FleetStats) FleetStats {
 	}
 	for i, d := range m.Devices {
 		st.PerDevice = append(st.PerDevice, FleetDeviceStats{
-			Device:      i,
-			Name:        c.deviceName(i),
-			Served:      d.Served,
-			Tokens:      d.Tokens,
-			BusyTime:    d.Busy,
-			Utilization: d.Utilization,
-			Goodput:     d.Goodput,
-			LiveStart:   d.LiveStart,
-			LiveSeconds: d.Lifetime,
-			Failed:      d.Failed,
-			Drained:     d.Drained,
+			Device:              i,
+			Name:                c.deviceName(i),
+			Served:              d.Served,
+			Tokens:              d.Tokens,
+			BusyTime:            d.Busy,
+			Utilization:         d.Utilization,
+			Goodput:             d.Goodput,
+			LiveStart:           d.LiveStart,
+			LiveSeconds:         d.Lifetime,
+			Failed:              d.Failed,
+			Drained:             d.Drained,
+			CacheCapacityTokens: d.CacheCapacityTokens,
+			CacheUsedTokens:     d.CacheUsedTokens,
+			CacheOccupancy:      d.CacheOccupancy,
+			CacheHitTokens:      d.CacheHitTokens,
+			CacheMissTokens:     d.CacheMissTokens,
+			CacheEvictedTokens:  d.CacheEvictedTokens,
+			ReprefillSeconds:    d.ReprefillSeconds,
 		})
 	}
 	return st

@@ -41,6 +41,7 @@ func main() {
 		scenarios = flag.Bool("scenarios", false, "run the scenario-regression sweep instead of figures")
 		golden    = flag.String("golden", "", "golden-trace directory to check scenario runs against (e.g. testdata/golden)")
 		requests  = flag.Int("requests", 0, "scenario stream length (0 = scenario default)")
+		cache     = flag.Bool("cache", false, "run the KV memory-plane cache sweep (router x capacity matrix) instead of figures")
 
 		perf         = flag.Bool("perf", false, "run the fleet-core perf sweep instead of figures")
 		perfDevs     = flag.String("perf-devices", "1,8,64,256,1024", "comma-separated fleet sizes for -perf")
@@ -115,6 +116,18 @@ func main() {
 			}
 		}
 		if err := runScenarioRegress(*golden, *out, *requests, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *cache {
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := runCacheSweep(*out, *requests, *seed); err != nil {
 			fatal(err)
 		}
 		return

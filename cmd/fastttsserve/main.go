@@ -50,7 +50,9 @@ func main() {
 		verbose     = flag.Bool("v", false, "print per-request (and per-device) telemetry")
 		jsonOut     = flag.Bool("json", false, "emit the full stats struct as JSON instead of tables")
 		devices     = flag.String("devices", "", "comma-separated fleet GPU names; non-empty selects fleet mode")
-		router      = flag.String("router", "rr", "fleet router: single, rr, least-work, jsq, p2c, prefix")
+		router      = flag.String("router", "rr", "fleet router: single, rr, least-work, jsq, p2c, prefix, cache-aware")
+		kvPlane     = flag.Bool("kv-plane", false, "enable the per-device KV-cache memory plane (capacity auto-sized from the device's KV budget)")
+		kvPlaneB    = flag.Int64("kv-plane-bytes", 0, "pin the KV memory-plane capacity in bytes (implies -kv-plane)")
 		fail        = flag.String("fail", "", "fail-stop injections, dev:time pairs (e.g. 1:200,3:350)")
 		slow        = flag.String("slow", "", "straggler factors, dev:factor pairs (e.g. 1:4)")
 		controller  = flag.String("controller", "", "elastic control policy: static, threshold, pid, budget (empty = no controller)")
@@ -80,12 +82,14 @@ func main() {
 
 	baseCfg := func(seed uint64) fasttts.Config {
 		return fasttts.Config{
-			GPU:       *gpu,
-			Pair:      fasttts.Pair(*pair),
-			Algorithm: *alg,
-			NumBeams:  *beams,
-			Mode:      fasttts.Mode(*mode),
-			Seed:      seed,
+			GPU:          *gpu,
+			Pair:         fasttts.Pair(*pair),
+			Algorithm:    *alg,
+			NumBeams:     *beams,
+			Mode:         fasttts.Mode(*mode),
+			Seed:         seed,
+			KVPlane:      *kvPlane,
+			KVPlaneBytes: *kvPlaneB,
 		}
 	}
 
@@ -268,8 +272,8 @@ func runFleet(a fleetArgs) {
 			fmt.Printf("  controller: %s, interval %.0fs, warm pool [%s], warm-up %.0fs\n",
 				a.controller, a.ctlInterval, strings.Join(a.warm, ", "), a.warmup)
 		}
-		fmt.Printf("\n%-10s %7s %7s %7s %9s %9s %9s %9s %6s %6s %8s %8s %6s\n",
-			"router", "served", "reject", "requeue", "p50(s)", "p95(s)", "p99(s)", "goodput", "imb", "hit%", "slo_att", "devsec", "mksp")
+		fmt.Printf("\n%-10s %7s %7s %7s %9s %9s %9s %9s %6s %6s %6s %8s %8s %6s\n",
+			"router", "served", "reject", "requeue", "p50(s)", "p95(s)", "p99(s)", "goodput", "imb", "hit%", "cache%", "slo_att", "devsec", "mksp")
 	}
 	report := reportJSON{Mode: "fleet", Dataset: a.dataset, Requests: len(a.probs),
 		Rate: a.rate, Seed: a.seed, Devices: a.gpus}
@@ -283,10 +287,10 @@ func runFleet(a fleetArgs) {
 			report.Runs = append(report.Runs, runJSON{Router: rt, Stats: st})
 			continue
 		}
-		fmt.Printf("%-10s %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %6.2f %5.0f%% %7.0f%% %8.0f %6.0f\n",
+		fmt.Printf("%-10s %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %6.2f %5.0f%% %5.0f%% %7.0f%% %8.0f %6.0f\n",
 			rt, st.Served, st.Rejected, st.Requeues,
 			st.P50Latency, st.P95Latency, st.P99Latency,
-			st.Goodput, st.ImbalanceCV, 100*st.PrefixHitRate,
+			st.Goodput, st.ImbalanceCV, 100*st.PrefixHitRate, 100*st.CacheHitRate,
 			100*st.SLOAttainment, st.DeviceSeconds, st.Makespan)
 		if cs := st.Control; cs != nil && !a.jsonOut {
 			fmt.Printf("  control: %d ticks, %d ups, %d downs, %d tier moves (final tier %d), peak %d devices, %d degraded\n",
@@ -299,8 +303,8 @@ func runFleet(a fleetArgs) {
 			}
 		}
 		if a.verbose {
-			fmt.Printf("\n%8s %18s %7s %9s %7s %9s %9s %7s\n",
-				"device", "name", "served", "busy(s)", "util", "goodput", "live(s)", "state")
+			fmt.Printf("\n%8s %18s %7s %9s %7s %9s %9s %7s %7s\n",
+				"device", "name", "served", "busy(s)", "util", "goodput", "live(s)", "cache", "state")
 			for _, d := range st.PerDevice {
 				state := "ok"
 				switch {
@@ -309,9 +313,10 @@ func runFleet(a fleetArgs) {
 				case d.Drained:
 					state = "drained"
 				}
-				fmt.Printf("%8d %18s %7d %9.1f %6.0f%% %9.2f %9.1f %7s\n",
+				fmt.Printf("%8d %18s %7d %9.1f %6.0f%% %9.2f %9.1f %6.0f%% %7s\n",
 					d.Device, d.Name, d.Served, d.BusyTime,
-					100*d.Utilization, d.Goodput, d.LiveSeconds, state)
+					100*d.Utilization, d.Goodput, d.LiveSeconds,
+					100*d.CacheOccupancy, state)
 			}
 			fmt.Println()
 		}

@@ -63,9 +63,11 @@
 // pluggable router named in ClusterConfig assigns every request to a
 // device at its arrival instant — "single" (pass-through; a 1-device
 // fleet reproduces Server exactly), "rr" (round-robin), "least-work",
-// "jsq" (join-shortest-queue), "p2c" (power-of-two-choices), or
-// "prefix" (prefix-affinity with load fallback, extending §4.2's
-// prefix-aware scheduling from intra-device to inter-device). The
+// "jsq" (join-shortest-queue), "p2c" (power-of-two-choices), "prefix"
+// (prefix-affinity with load fallback, extending §4.2's prefix-aware
+// scheduling from intra-device to inter-device), or "cache-aware"
+// (drain time plus the re-prefill debt of prompt tokens not resident in
+// the device's KV memory plane). The
 // failure model is fail-stop at slice granularity: a failing device
 // finishes its in-progress slice, then its unfinished requests are
 // requeued to the survivors with partial work lost; if no device
@@ -92,6 +94,24 @@
 //	})
 //	run, _ := cl.Run(fasttts.PoissonRequests(probs, 0.6, 11))
 //	fmt.Printf("%+v\n", run.Stats())
+//
+// # KV-cache memory plane
+//
+// Config.KVPlane (or a positive Config.KVPlaneBytes) attaches a
+// per-device KV-cache memory plane (internal/memplane): each device's
+// KV capacity is sized from its GPU tier (VRAM minus model weights at
+// the model's per-token KV cost, or pinned explicitly), prompt prefixes
+// stay resident in a radix prefix cache across requests, per-beam
+// decode state is charged as the search widens and narrows, and LRU
+// eviction reclaims cold prefixes under pressure. A request whose
+// prompt prefix was evicted (or never seen) pays a deterministic
+// re-prefill latency from the roofline cost model, so cache locality
+// has a real price — the "cache-aware" router trades that re-prefill
+// debt against load balance using actual per-device residency, and
+// FleetStats reports per-device occupancy plus fleet hit/miss/eviction
+// token counts and total re-prefill seconds. The plane is off by
+// default; zero capacity reproduces prior traces bit-identically on
+// both execution engines.
 //
 // # Elastic serving
 //
@@ -128,8 +148,9 @@
 // RunScenario serves one of the named, composable workload scenarios
 // (internal/scenario) — steady, diurnal (sinusoidal-rate arrivals),
 // flash-crowd, heavy-tail, tenant-mix, fleet-churn (staggered fail-stop
-// plus stragglers), burst-storm, and the controller-driven
-// autoscale-diurnal, flash-absorb, and budget-storm — on either the
+// plus stragglers), burst-storm, the controller-driven
+// autoscale-diurnal, flash-absorb, and budget-storm, and the KV
+// memory-plane cache-thrash and shared-prefix-storm — on either the
 // single-server or the cluster target. Every scenario builds a deterministic request stream,
 // so a run is bit-identically reproducible; ScenarioRun.TraceJSONL
 // renders it as a canonical record/replay trace (internal/trace), and
@@ -159,6 +180,7 @@ import (
 
 	"fasttts/internal/core"
 	"fasttts/internal/hw"
+	"fasttts/internal/memplane"
 	"fasttts/internal/model"
 	"fasttts/internal/search"
 	"fasttts/internal/trace"
@@ -218,6 +240,18 @@ type Config struct {
 	// AllowOffload enables CPU offloading of the inactive model's KV
 	// (required on 8 GB devices).
 	AllowOffload bool
+	// KVPlane enables the per-device KV-cache memory plane
+	// (internal/memplane): a capacity-bounded radix prefix cache that
+	// keeps prompt prefixes resident across requests, charges decode
+	// state per beam, evicts LRU under pressure, and converts prompt
+	// cache misses into roofline-modeled re-prefill latency. Off by
+	// default — the zero value reproduces prior behavior bit-identically.
+	KVPlane bool
+	// KVPlaneBytes, when positive, pins the plane's KV capacity in bytes
+	// (and implies KVPlane); with KVPlane set and KVPlaneBytes 0 the
+	// capacity auto-sizes to the device's KV budget (VRAM × MemoryFraction
+	// minus weights and reservation). Negative values are rejected.
+	KVPlaneBytes int64
 	// Seed drives all randomness; equal seeds give bit-identical runs.
 	Seed uint64
 	// Recorder, when set, captures per-kernel utilization samples.
@@ -311,7 +345,7 @@ func buildCoreConfig(c Config) (core.Config, error) {
 		opts = core.FastTTSOptions()
 	}
 	opts.AllowOffload = c.AllowOffload
-	return core.Config{
+	cc := core.Config{
 		GPU:              gpu,
 		Generator:        gen,
 		GenSkill:         genSkill,
@@ -323,7 +357,22 @@ func buildCoreConfig(c Config) (core.Config, error) {
 		Opts:             opts,
 		Recorder:         c.Recorder,
 		Seed:             c.Seed,
-	}, nil
+	}
+	if c.KVPlaneBytes < 0 {
+		return core.Config{}, fmt.Errorf("fasttts: KVPlaneBytes must be non-negative, got %d (0 disables the memory plane)", c.KVPlaneBytes)
+	}
+	if c.KVPlane || c.KVPlaneBytes > 0 {
+		capacity := c.KVPlaneBytes
+		if capacity == 0 {
+			budget, err := cc.KVBudget()
+			if err != nil {
+				return core.Config{}, err
+			}
+			capacity = budget
+		}
+		cc.KVPlane = memplane.Config{CapacityBytes: capacity}
+	}
+	return cc, nil
 }
 
 func resolvePair(p Pair) (gen model.Config, gs workload.GeneratorSkill, ver model.Config, vs workload.VerifierSkill, err error) {

@@ -310,7 +310,7 @@ func (f *Fleet) newRun(reqs []core.Request) (*run, error) {
 	r.vs = make([]DeviceView, len(devs))
 	r.posInVs = make([]int, len(devs))
 	for i, d := range devs {
-		r.vs[i] = DeviceView{Index: i, Speed: d.speed}
+		r.vs[i] = DeviceView{Index: i, Speed: d.speed, Mem: d.loop.Plane()}
 		r.posInVs[i] = i
 	}
 	r.wake = newWakeHeap(len(devs))
@@ -422,6 +422,9 @@ func (r *run) refreshView(dev int) {
 	v.Pending = d.loop.Pending()
 	if r.needWork {
 		v.OutstandingWork = d.loop.OutstandingWork()
+	}
+	if v.Mem != nil {
+		v.CacheOccupancy = v.Mem.OccupiedFraction()
 	}
 }
 
@@ -552,10 +555,11 @@ func (r *run) routeArrival(pr pendingReq) error {
 		return nil
 	}
 	rv := RequestView{
-		Tag:       pr.req.Tag,
-		Arrival:   at,
-		PrefixKey: prefixKey(pr.req.Problem),
-		Requeued:  pr.requeues > 0,
+		Tag:          pr.req.Tag,
+		Arrival:      at,
+		PrefixKey:    prefixKey(pr.req.Problem),
+		PromptTokens: pr.req.Problem.PromptTokens,
+		Requeued:     pr.requeues > 0,
 	}
 	pick := r.f.cfg.Router.Route(rv, r.vs, r.routeRand)
 	if pick < 0 || pick >= len(r.vs) {
@@ -719,6 +723,7 @@ func (r *run) finish() {
 		if life < 0 {
 			life = 0
 		}
+		ps := d.loop.PlaneStats()
 		r.out.Devices[i] = metrics.FleetDevice{
 			Busy:      d.loop.Busy(),
 			Lifetime:  life,
@@ -727,6 +732,13 @@ func (r *run) finish() {
 			Tokens:    d.tokens,
 			Failed:    !d.alive,
 			Drained:   d.drained,
+
+			CacheCapacityTokens: ps.CapacityTokens,
+			CacheUsedTokens:     ps.UsedTokens,
+			CacheHitTokens:      ps.HitTokens,
+			CacheMissTokens:     ps.MissTokens,
+			CacheEvictedTokens:  ps.EvictedTokens,
+			ReprefillSeconds:    ps.ReprefillSeconds,
 		}
 	}
 	r.out.PrefixHits = r.acc.PrefixHits

@@ -357,6 +357,8 @@ func TestRouterByName(t *testing.T) {
 		"P2C":            "p2c",
 		"power-of-two":   "p2c",
 		"prefix":         "prefix",
+		"cache-aware":    "cache-aware",
+		"cache":          "cache-aware",
 	} {
 		r, err := RouterByName(name)
 		if err != nil {

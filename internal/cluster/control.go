@@ -302,7 +302,7 @@ func (el *elastic) completeJoin(r *run) {
 	d := r.devs[j.dev]
 	d.warming = false
 	r.posInVs[j.dev] = len(r.vs)
-	r.vs = append(r.vs, DeviceView{Index: j.dev, Speed: d.speed})
+	r.vs = append(r.vs, DeviceView{Index: j.dev, Speed: d.speed, Mem: d.loop.Plane()})
 	r.refreshView(j.dev)
 	if n := len(r.vs); n > el.stats.PeakDevices {
 		el.stats.PeakDevices = n

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"fasttts/internal/memplane"
 	"fasttts/internal/rng"
 )
 
@@ -24,6 +25,9 @@ type RequestView struct {
 	// PrefixKey identifies the request's shared prompt prefix: requests
 	// with equal keys re-use each other's prompt KV on the same device.
 	PrefixKey string
+	// PromptTokens is the request's prompt length — the tokens a device
+	// without the prefix resident would have to re-prefill.
+	PromptTokens int
 	// Requeued marks failure-induced re-routing (the original device
 	// fail-stopped with this request unfinished).
 	Requeued bool
@@ -47,6 +51,14 @@ type DeviceView struct {
 	// share scaled down by the straggler factor. Units are arbitrary but
 	// consistent across devices.
 	Speed float64
+	// Mem is the device's KV memory plane; nil when the plane is
+	// disabled. Routers may probe it (prefix residency, occupancy) only
+	// inside Route — the fleet quiesces every device at the arrival's
+	// event barrier before routing, on both execution engines.
+	Mem *memplane.Plane
+	// CacheOccupancy is the plane's used/capacity fraction as of the
+	// device's last refresh; 0 when the plane is disabled.
+	CacheOccupancy float64
 }
 
 // Router assigns requests to fleet devices.
@@ -178,6 +190,47 @@ func better(a, b DeviceView) bool {
 	return a.Index < b.Index
 }
 
+// CacheAware routes by effective drain time including the memory cost of
+// a cold prompt: (outstanding work + prompt tokens not resident in the
+// device's KV plane) / speed. Both terms are in token units — outstanding
+// work is estimated demand in tokens, and a non-resident prompt token is
+// a token the device must re-prefill before serving. On fleets without a
+// memory plane every device misses the full prompt equally and the router
+// degenerates to least-work. Unlike PrefixAffinity's home directory, the
+// residency signal is the device's *actual* cache content, so eviction
+// under pressure automatically redirects traffic.
+type CacheAware struct{}
+
+func (CacheAware) Name() string               { return "cache-aware" }
+func (CacheAware) NeedsOutstandingWork() bool { return true }
+func (CacheAware) Route(rq RequestView, devices []DeviceView, _ *rng.Stream) int {
+	best, bestCost := 0, cacheCost(rq, devices[0])
+	for i := 1; i < len(devices); i++ {
+		c := cacheCost(rq, devices[i])
+		d, b := devices[i], devices[best]
+		if c < bestCost ||
+			(c == bestCost && (d.Pending < b.Pending ||
+				(d.Pending == b.Pending && d.Index < b.Index))) {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}
+
+// cacheCost is a device's expected time to absorb the request: current
+// drain time plus the re-prefill debt of the non-resident prompt tokens.
+func cacheCost(rq RequestView, d DeviceView) float64 {
+	miss := rq.PromptTokens
+	if d.Mem != nil {
+		miss -= d.Mem.ResidentPromptTokens(rq.PrefixKey, rq.PromptTokens)
+	}
+	work := d.OutstandingWork + float64(miss)
+	if d.Speed <= 0 {
+		return work
+	}
+	return work / d.Speed
+}
+
 // PrefixAffinity extends the paper's §4.2 prefix-aware scheduling from
 // intra-device to inter-device: requests sharing a prompt prefix are
 // routed to the device whose radix KV cache already holds it, so the
@@ -194,7 +247,14 @@ type PrefixAffinity struct {
 	// backlog the affine device may hold before affinity is abandoned;
 	// 0 means 4.
 	LoadSlack int
-	home      map[string]int // prefix key -> device Index
+	// MaxPrefixes bounds the affinity directory: when a new prefix would
+	// exceed it, the oldest-homed prefix is forgotten (deterministic FIFO
+	// on first-homing order). 0 means 4096; negative means unbounded.
+	// Without a bound the directory grows with every distinct prefix ever
+	// routed — a leak on long multi-tenant streams.
+	MaxPrefixes int
+	home        map[string]int // prefix key -> device Index
+	order       []string       // home keys in first-homing order (FIFO eviction)
 }
 
 func (p *PrefixAffinity) Name() string { return "prefix" }
@@ -236,12 +296,25 @@ func (p *PrefixAffinity) Route(rq RequestView, devices []DeviceView, r *rng.Stre
 		}
 	}
 	i := fallback.Route(rq, devices, r)
+	if _, homed := p.home[rq.PrefixKey]; !homed {
+		limit := p.MaxPrefixes
+		if limit == 0 {
+			limit = 4096
+		}
+		if limit > 0 && len(p.home) >= limit {
+			oldest := p.order[0]
+			p.order = p.order[1:]
+			delete(p.home, oldest)
+		}
+		p.order = append(p.order, rq.PrefixKey)
+	}
 	p.home[rq.PrefixKey] = devices[i].Index
 	return i
 }
 
 // RouterByName resolves a fresh router from its CLI/config name:
-// "single", "rr", "least-work", "jsq", "p2c", or "prefix".
+// "single", "rr", "least-work", "jsq", "p2c", "prefix", or
+// "cache-aware".
 func RouterByName(name string) (Router, error) {
 	switch strings.ToLower(name) {
 	case "single", "passthrough":
@@ -256,11 +329,13 @@ func RouterByName(name string) (Router, error) {
 		return PowerOfTwo{}, nil
 	case "prefix", "prefix-affinity":
 		return &PrefixAffinity{}, nil
+	case "cache-aware", "cache":
+		return CacheAware{}, nil
 	}
-	return nil, fmt.Errorf("cluster: unknown router %q (want single, rr, least-work, jsq, p2c, or prefix)", name)
+	return nil, fmt.Errorf("cluster: unknown router %q (want single, rr, least-work, jsq, p2c, prefix, or cache-aware)", name)
 }
 
 // RouterNames lists the built-in router names in display order.
 func RouterNames() []string {
-	return []string{"single", "rr", "least-work", "jsq", "p2c", "prefix"}
+	return []string{"single", "rr", "least-work", "jsq", "p2c", "prefix", "cache-aware"}
 }

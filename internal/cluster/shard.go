@@ -254,10 +254,11 @@ func (ss *shardSet) runSpan(r *run, structAt float64, bounded bool) error {
 			continue
 		}
 		rv := RequestView{
-			Tag:       pr.req.Tag,
-			Arrival:   pr.req.Arrival,
-			PrefixKey: prefixKey(pr.req.Problem),
-			Requeued:  pr.requeues > 0,
+			Tag:          pr.req.Tag,
+			Arrival:      pr.req.Arrival,
+			PrefixKey:    prefixKey(pr.req.Problem),
+			PromptTokens: pr.req.Problem.PromptTokens,
+			Requeued:     pr.requeues > 0,
 		}
 		pick := router.Route(rv, r.vs, r.routeRand)
 		if pick < 0 || pick >= len(r.vs) {

@@ -240,3 +240,26 @@ func TestNegativeShardsUsesCores(t *testing.T) {
 	seq, sh := runEngines(t, mk, reqs, -1)
 	diffOutcomes(t, "auto-shards", seq, sh)
 }
+
+// TestShardedEquivalenceKVPlane enables the KV memory plane at a tight
+// capacity — admission, LRU eviction, and re-prefill penalties all fire
+// — and compares the engines for the plane-sensitive routers. The
+// cache-aware router probes device planes inside Route, so every
+// arrival is a cross-shard barrier; the outcomes must still match the
+// sequential engine bit for bit.
+func TestShardedEquivalenceKVPlane(t *testing.T) {
+	reqs := taggedStream(t, repeatedProblems(t, 60, 5), 2.0, 11)
+	for _, router := range []string{"cache-aware", "prefix", "least-work", "rr"} {
+		for _, shards := range []int{2, 8} {
+			mk := func() Config {
+				rt, err := RouterByName(router)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return Config{Devices: planeFleet(t, 16<<20), Router: rt, Seed: 3}
+			}
+			seq, sh := runEngines(t, mk, reqs, shards)
+			diffOutcomes(t, router+"+kvplane/shards="+strconv.Itoa(shards), seq, sh)
+		}
+	}
+}

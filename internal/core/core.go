@@ -20,6 +20,7 @@ import (
 
 	"fasttts/internal/hw"
 	"fasttts/internal/kvcache"
+	"fasttts/internal/memplane"
 	"fasttts/internal/metrics"
 	"fasttts/internal/model"
 	"fasttts/internal/search"
@@ -97,10 +98,16 @@ type Config struct {
 	// KVBudgetOverride, when positive, fixes the KV budget directly
 	// (used by the Fig 18-right memory sweep).
 	KVBudgetOverride int64
-	Policy           search.Policy
-	Opts             Options
-	Recorder         *trace.Recorder
-	Seed             uint64
+	// KVPlane configures the per-device KV-cache memory plane: a finite
+	// prefix cache charged for prompt prefixes and live decode state,
+	// with LRU eviction and roofline re-prefill penalties on prompt
+	// misses. The zero value (capacity 0) disables the plane — behavior
+	// is then bit-identical to builds without it.
+	KVPlane  memplane.Config
+	Policy   search.Policy
+	Opts     Options
+	Recorder *trace.Recorder
+	Seed     uint64
 }
 
 // KVBudget returns the KV memory available after weights and reservation.
@@ -186,6 +193,12 @@ func (c *Config) validate() error {
 	}
 	if c.GPU.Name == "" {
 		return fmt.Errorf("core: missing GPU")
+	}
+	if c.GPU.VRAMBytes < 0 {
+		return fmt.Errorf("core: GPU %s has negative VRAM %d bytes", c.GPU.Name, c.GPU.VRAMBytes)
+	}
+	if err := c.KVPlane.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	if c.GenSkill.Name == "" {
 		c.GenSkill = workload.SkillQwen1_5B

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"fasttts/internal/memplane"
 	"fasttts/internal/metrics"
 	"fasttts/internal/sched"
 	"fasttts/internal/search"
@@ -89,6 +90,12 @@ type session struct {
 	lastRem float64 // remaining-work estimate as of the last slice (load index term)
 	slices  int
 	done    bool
+
+	// mem is the request's footprint on the device's KV memory plane
+	// (nil when the plane is disabled); penalty is the admission-time
+	// re-prefill charge, paid into the session's first slice.
+	mem     *memplane.Session
+	penalty float64
 }
 
 // NewServer returns an FCFS server executing requests under the given
@@ -140,7 +147,7 @@ func (s *Server) RunClosedLoop(probs []*workload.Problem, cl workload.ClosedLoop
 		next++
 		return rq, true
 	}
-	l := &Loop{s: s, queue: queue, feeder: feeder, scale: 1}
+	l := &Loop{s: s, queue: queue, feeder: feeder, scale: 1, plane: s.newPlane()}
 	for _, rq := range queue {
 		l.queuedWork += s.estimateWork(rq)
 	}
@@ -185,6 +192,11 @@ type Loop struct {
 	busy     float64 // wall seconds spent executing slices (lost work included)
 	failed   bool
 
+	// plane is the device's KV memory plane; nil when the configured
+	// capacity is zero, in which case the loop's behavior is bit-identical
+	// to builds without the plane.
+	plane *memplane.Plane
+
 	// Incrementally maintained load indexes: liveWork is the summed
 	// remaining-work estimate of the live sessions, queuedWork the summed
 	// demand estimate of the unadmitted arrivals. Updated on push, admit,
@@ -219,11 +231,40 @@ type preemptProbe struct {
 func (s *Server) NewLoop(reqs []Request) *Loop {
 	queue := append([]Request(nil), reqs...)
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
-	l := &Loop{s: s, queue: queue, scale: 1}
+	l := &Loop{s: s, queue: queue, scale: 1, plane: s.newPlane()}
 	for _, rq := range queue {
 		l.queuedWork += s.estimateWork(rq)
 	}
 	return l
+}
+
+// newPlane instantiates the deployment's KV memory plane, or nil when the
+// configured capacity is zero (the plane is off by default).
+func (s *Server) newPlane() *memplane.Plane {
+	if !s.cfg.KVPlane.Enabled() {
+		return nil
+	}
+	return memplane.New(s.cfg.KVPlane, s.cfg.GPU, s.cfg.Generator)
+}
+
+// Plane returns the loop's KV memory plane; nil when disabled. The fleet
+// layer attaches it to the device's routing view so cache-aware routers
+// can probe prefix residency at event barriers.
+func (l *Loop) Plane() *memplane.Plane { return l.plane }
+
+// PlaneStats returns the memory plane's cumulative telemetry; the zero
+// value when the plane is disabled.
+func (l *Loop) PlaneStats() memplane.Stats {
+	if l.plane == nil {
+		return memplane.Stats{}
+	}
+	return l.plane.Stats()
+}
+
+// planeKey is the prompt-prefix identity the memory plane caches under —
+// the same dataset/index key the fleet's prefix-affinity directory uses.
+func planeKey(p *workload.Problem) string {
+	return fmt.Sprintf("%s/%d", p.Dataset, p.Index)
 }
 
 // SetScale sets the loop's straggler factor: every device slice consumes
@@ -320,6 +361,9 @@ func (l *Loop) Fail() []Request {
 			c.done = true
 			l.inFlight--
 			out = append(out, c.req)
+			if c.mem != nil {
+				l.plane.Finish(c.mem)
+			}
 		}
 	}
 	out = append(out, l.queue[l.next:]...)
@@ -403,6 +447,12 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 			c.lastRem = l.s.remainingWork(c)
 			l.liveWork += c.lastRem
 			l.reanchorWork()
+			if l.plane != nil {
+				// Charge the prompt prefix against the memory plane; the
+				// re-prefill penalty for non-resident tokens lands in the
+				// session's first slice.
+				c.mem, c.penalty = l.plane.Admit(planeKey(rq.Problem), rq.Problem.PromptTokens)
+			}
 		}
 		// Every session is live (completed ones are dropped eagerly), so
 		// the session list itself is the runnable set — no per-slice copy.
@@ -486,10 +536,22 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 			return out, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
 		}
 		delta := (c.solver.clk.Now() - l.probe.localStart) * l.scale
+		if c.penalty > 0 {
+			// First slice: pay the admission-time re-prefill charge for the
+			// prompt tokens that were not resident on the memory plane.
+			delta += c.penalty * l.scale
+			c.penalty = 0
+		}
 		l.now += delta
 		l.busy += delta
 		c.work += delta
 		c.slices++
+		if c.mem != nil {
+			// Reconcile the session's resident footprint with the solver's
+			// live KV usage beyond the prompt — per-beam decode state that
+			// widens and narrows as the search proceeds.
+			l.plane.SyncDecode(c.mem, int(c.solver.gen.Cache.UsedTokens())-c.req.Problem.PromptTokens)
+		}
 
 		if c.solver.done() {
 			res, err := c.solver.result()
@@ -501,6 +563,11 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 			l.dropSession(c)
 			l.liveWork -= c.lastRem
 			l.reanchorWork()
+			if c.mem != nil {
+				// Decode state is garbage now; the prompt prefix stays
+				// resident for future admissions to hit.
+				l.plane.Finish(c.mem)
+			}
 			out = append(out, ServedResult{
 				Result:  res,
 				Arrival: c.req.Arrival, Start: c.start, Finish: l.now,

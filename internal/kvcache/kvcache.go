@@ -296,6 +296,27 @@ func (c *Cache) Release(s *Seq) {
 	c.unpinSegment(s.leaf, nil)
 }
 
+// Drop releases a sequence and immediately evicts the now-unreferenced
+// tail of its path — the nodes no other sequence pins and no child
+// extends. Unlike Release (which leaves the path resident for future
+// prefix hits), Drop is for state known to be garbage, e.g. per-beam
+// decode suffixes after a request completes: keeping them would only
+// displace reusable prompt prefixes. Shared ancestors (pinned by other
+// sequences or carrying other children) stay cached.
+func (c *Cache) Drop(s *Seq) {
+	if s.released {
+		return
+	}
+	leaf := s.leaf
+	c.Release(s)
+	for n := leaf; n != nil && n.evictable(); {
+		parent := n.parent
+		c.unqueue(n)
+		c.evict(n)
+		n = parent
+	}
+}
+
 // LongestCachedPrefix returns how many leading tokens of the given
 // sequence are currently resident (pinned or not). It never mutates the
 // tree.

@@ -81,6 +81,34 @@ func accumCases() []accumCase {
 			requeues: 0, hits: 0, misses: 512, slo: 0,
 		},
 		{
+			// KV memory-plane telemetry rides in FleetDevice: the cache
+			// counters must fold through shard merges exactly like the core
+			// fields, and a zero-capacity device (plane disabled) must stay
+			// all-zero alongside enabled peers.
+			name: "cache-plane",
+			samples: []ServeSample{
+				{Arrival: 0.1, Start: 0.1, Finish: 3.0, Tokens: 700},
+				{Arrival: 0.6, Start: 0.6, Finish: 4.1, Tokens: 900},
+				{Arrival: 1.3, Start: 3.0, Finish: 6.2, Tokens: 1100},
+			},
+			devices: []FleetDevice{
+				{
+					Busy: 4.0, Lifetime: 6.2, Served: 2, Tokens: 1600,
+					CacheCapacityTokens: 4096, CacheUsedTokens: 3100,
+					CacheHitTokens: 900, CacheMissTokens: 2200,
+					CacheEvictedTokens: 500, ReprefillSeconds: 0.8,
+				},
+				{Busy: 2.9, Lifetime: 6.2, Served: 1, Tokens: 1100}, // plane disabled
+				{
+					Busy: 1.5, Lifetime: 6.2,
+					CacheCapacityTokens: 2048, CacheUsedTokens: 2048,
+					CacheHitTokens: 0, CacheMissTokens: 2600,
+					CacheEvictedTokens: 552, ReprefillSeconds: 1.45,
+				},
+			},
+			requeues: 1, hits: 900, misses: 4800, slo: 5,
+		},
+		{
 			name:    "empty-run",
 			samples: nil,
 			devices: []FleetDevice{{Busy: 0, Lifetime: 3.5}},

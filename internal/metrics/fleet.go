@@ -30,6 +30,19 @@ type FleetDevice struct {
 	// marks devices the control plane deliberately drained out.
 	Failed  bool
 	Drained bool
+
+	// KV memory-plane telemetry; all zero when the plane is disabled.
+	// CacheCapacityTokens / CacheUsedTokens snapshot the device's KV
+	// plane at run end; hit/miss count prompt-prefix tokens found /
+	// not found resident at admission; CacheEvictedTokens counts tokens
+	// LRU-evicted under pressure; ReprefillSeconds is the total
+	// re-prefill latency charged for prompt misses.
+	CacheCapacityTokens int64
+	CacheUsedTokens     int64
+	CacheHitTokens      int64
+	CacheMissTokens     int64
+	CacheEvictedTokens  int64
+	ReprefillSeconds    float64
 }
 
 // FleetDeviceStats augments a device's telemetry with derived rates.
@@ -40,6 +53,9 @@ type FleetDeviceStats struct {
 	Utilization float64
 	// Goodput is useful tokens per second of lifetime.
 	Goodput float64
+	// CacheOccupancy is CacheUsedTokens / CacheCapacityTokens at run
+	// end; 0 when the memory plane is disabled.
+	CacheOccupancy float64
 }
 
 // FleetStats aggregates a fleet-served request stream.
@@ -59,6 +75,20 @@ type FleetStats struct {
 	// PrefixHitRate is the fleet prompt-prefix cache hit rate in tokens:
 	// hits / (hits + misses), 0 when there was no prefix traffic.
 	PrefixHitRate float64
+	// CacheHitTokens / CacheMissTokens / CacheEvictedTokens sum the
+	// per-device KV memory-plane telemetry; all zero when the plane is
+	// disabled fleet-wide.
+	CacheHitTokens     int64
+	CacheMissTokens    int64
+	CacheEvictedTokens int64
+	// CacheHitRate is CacheHitTokens / (CacheHitTokens + CacheMissTokens),
+	// 0 when the plane saw no prompt traffic. Unlike PrefixHitRate (the
+	// routing directory's optimistic estimate), it reflects actual
+	// residency after capacity eviction.
+	CacheHitRate float64
+	// ReprefillSeconds is the fleet's total re-prefill latency charged
+	// for prompt-cache misses.
+	ReprefillSeconds float64
 	// FailedDevices counts devices that fail-stopped during the run.
 	FailedDevices int
 	// DeviceSeconds is the fleet's capacity cost: the summed live time of
@@ -119,6 +149,13 @@ func SummarizeFleet(in FleetInput) FleetStats {
 			ds.Utilization = d.Busy / d.Lifetime
 			ds.Goodput = float64(d.Tokens) / d.Lifetime
 		}
+		if d.CacheCapacityTokens > 0 {
+			ds.CacheOccupancy = float64(d.CacheUsedTokens) / float64(d.CacheCapacityTokens)
+		}
+		st.CacheHitTokens += d.CacheHitTokens
+		st.CacheMissTokens += d.CacheMissTokens
+		st.CacheEvictedTokens += d.CacheEvictedTokens
+		st.ReprefillSeconds += d.ReprefillSeconds
 		if d.Failed {
 			st.FailedDevices++
 		}
@@ -133,6 +170,9 @@ func SummarizeFleet(in FleetInput) FleetStats {
 	st.ImbalanceCV = CoefficientOfVariation(busy)
 	if total := in.PrefixHits + in.PrefixMisses; total > 0 {
 		st.PrefixHitRate = float64(in.PrefixHits) / float64(total)
+	}
+	if total := st.CacheHitTokens + st.CacheMissTokens; total > 0 {
+		st.CacheHitRate = float64(st.CacheHitTokens) / float64(total)
 	}
 	return st
 }

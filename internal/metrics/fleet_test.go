@@ -126,3 +126,73 @@ func TestSummarizeFleetDegenerate(t *testing.T) {
 		})
 	}
 }
+
+// TestSummarizeFleetCacheTelemetry pins the KV memory-plane aggregation:
+// fleet cache counters sum across devices, the hit rate reflects actual
+// residency (not the routing directory's PrefixHitRate), per-device
+// occupancy derives from the end-of-run snapshot, and a zero-capacity
+// device (plane disabled) contributes nothing.
+func TestSummarizeFleetCacheTelemetry(t *testing.T) {
+	cases := []struct {
+		name          string
+		devices       []FleetDevice
+		wantHit       int64
+		wantMiss      int64
+		wantEvicted   int64
+		wantReprefill float64
+		wantRate      float64
+		wantOcc       []float64
+	}{
+		{
+			name: "mixed fleet",
+			devices: []FleetDevice{
+				{
+					Busy: 4, Lifetime: 8,
+					CacheCapacityTokens: 1000, CacheUsedTokens: 250,
+					CacheHitTokens: 300, CacheMissTokens: 100,
+					CacheEvictedTokens: 50, ReprefillSeconds: 0.5,
+				},
+				{
+					Busy: 4, Lifetime: 8,
+					CacheCapacityTokens: 2000, CacheUsedTokens: 2000,
+					CacheHitTokens: 100, CacheMissTokens: 300,
+					CacheEvictedTokens: 150, ReprefillSeconds: 1.5,
+				},
+			},
+			wantHit: 400, wantMiss: 400, wantEvicted: 200,
+			wantReprefill: 2, wantRate: 0.5,
+			wantOcc: []float64{0.25, 1},
+		},
+		{
+			name: "zero capacity stays silent",
+			devices: []FleetDevice{
+				{Busy: 3, Lifetime: 6},
+				{Busy: 3, Lifetime: 6},
+			},
+			wantOcc: []float64{0, 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := SummarizeFleet(FleetInput{Devices: tc.devices})
+			if st.CacheHitTokens != tc.wantHit || st.CacheMissTokens != tc.wantMiss {
+				t.Errorf("hit/miss tokens = %d/%d, want %d/%d",
+					st.CacheHitTokens, st.CacheMissTokens, tc.wantHit, tc.wantMiss)
+			}
+			if st.CacheEvictedTokens != tc.wantEvicted {
+				t.Errorf("evicted tokens = %d, want %d", st.CacheEvictedTokens, tc.wantEvicted)
+			}
+			if math.Abs(st.ReprefillSeconds-tc.wantReprefill) > 1e-12 {
+				t.Errorf("re-prefill seconds = %v, want %v", st.ReprefillSeconds, tc.wantReprefill)
+			}
+			if math.Abs(st.CacheHitRate-tc.wantRate) > 1e-12 {
+				t.Errorf("cache hit rate = %v, want %v", st.CacheHitRate, tc.wantRate)
+			}
+			for i, d := range st.Devices {
+				if math.Abs(d.CacheOccupancy-tc.wantOcc[i]) > 1e-12 {
+					t.Errorf("device %d occupancy = %v, want %v", i, d.CacheOccupancy, tc.wantOcc[i])
+				}
+			}
+		})
+	}
+}

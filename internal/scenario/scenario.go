@@ -26,10 +26,15 @@
 //	autoscale-diurnal  threshold controller scales a warm pool to a sinusoidal rate
 //	flash-absorb       PID controller absorbs a flash crowd with warm-pool joins
 //	budget-storm       compute-budget governor degrades search width under bursts
+//	cache-thrash       repeated prompts against tight KV memory planes under cache-aware routing
+//	shared-prefix-storm  bursts over a tiny hot prompt set under prefix-affinity routing
 //
-// The last three attach the elastic control plane (internal/control) on
-// the cluster target; on the server target they serve the same stream on
-// a fixed single device, which keeps the two targets comparable.
+// autoscale-diurnal, flash-absorb, and budget-storm attach the elastic
+// control plane (internal/control) on the cluster target; cache-thrash
+// and shared-prefix-storm enable the per-device KV-cache memory plane
+// (internal/memplane). On the server target every scenario serves the
+// same stream on a fixed single device, which keeps the two targets
+// comparable.
 package scenario
 
 import (
@@ -82,6 +87,9 @@ type Device struct {
 	Slowdown float64
 	// FailAt, when positive, fail-stops the device at that fleet time.
 	FailAt float64
+	// KVPlaneBytes, when positive, enables the device's KV-cache memory
+	// plane with this capacity in bytes; 0 leaves the plane off.
+	KVPlaneBytes int64
 }
 
 // Autoscale is a scenario's elastic control plane: the controller
@@ -207,6 +215,16 @@ func All() []Scenario {
 			Name:        "budget-storm",
 			Description: "budget-degrade-under-storm: compute-budget governor narrows search width under bursts",
 			Build:       buildBudgetStorm,
+		},
+		{
+			Name:        "cache-thrash",
+			Description: "repeated prompts against tight per-device KV memory planes under cache-aware routing",
+			Build:       buildCacheThrash,
+		},
+		{
+			Name:        "shared-prefix-storm",
+			Description: "synchronized bursts over a tiny hot prompt set under prefix-affinity routing with KV planes",
+			Build:       buildSharedPrefixStorm,
 		},
 	}
 }
@@ -512,5 +530,77 @@ func buildBudgetStorm(p Params) Spec {
 			Interval:   10,
 			MaxTier:    2,
 		},
+	}
+}
+
+// --- KV memory-plane scenarios ---
+
+// buildCacheThrash stresses capacity eviction: a Poisson stream cycles
+// over a moderate pool of few-shot prompts (each ~4K tokens, ~110 MiB of
+// KV state) across three tenant datasets, while each device's KV plane
+// holds only a handful of prompt prefixes plus decode state. Repeats hit
+// only if the prefix survived since its last use, so routing that
+// concentrates a prompt's repeats on one device (cache-aware) keeps each
+// plane's working set small enough that prefixes survive between
+// repeats; routing that scatters them asks every plane to hold every
+// prompt and thrashes.
+func buildCacheThrash(p Params) Spec {
+	p = p.withDefaults(36)
+	r := rng.New(p.Seed).Child("scenario/cache-thrash")
+	arrivals := workload.PoissonArrivals(p.Requests, 0.3, r.Child("arrivals"))
+	datasets := []string{"MATH500-fewshot", "AMC23-fewshot", "AIME24-fewshot"}
+	mx := r.Child("mix")
+	reqs := make([]Request, len(arrivals))
+	for i, at := range arrivals {
+		// 3 tenants x 6 problems = 18 distinct prompts over a 36-request
+		// default stream: every prompt repeats, but the full pool is ~2 GiB
+		// of prefix state — far more than any one device's plane can hold.
+		reqs[i] = Request{
+			Dataset: datasets[mx.IntN(len(datasets))],
+			Problem: mx.IntN(6),
+			Arrival: at,
+		}
+	}
+	devices := defaultFleet(p.Seed)
+	for i := range devices {
+		devices[i].KVPlaneBytes = 512 << 20
+	}
+	return Spec{
+		Name:       "cache-thrash",
+		Seed:       p.Seed,
+		Requests:   reqs,
+		Serve:      Serve{Policy: "fcfs"},
+		Devices:    devices,
+		Router:     "cache-aware",
+		SLOLatency: 180,
+	}
+}
+
+// buildSharedPrefixStorm is the memory plane's best case: synchronized
+// bursts where every request shares one of three hot few-shot prompts.
+// With prefix-affinity routing each prompt's repeats land where its
+// prefix is resident and the prefill is served from cache; the generous
+// plane capacity means eviction never steals the hot set.
+func buildSharedPrefixStorm(p Params) Spec {
+	p = p.withDefaults(30)
+	r := rng.New(p.Seed).Child("scenario/shared-prefix-storm")
+	arrivals := workload.BurstArrivals(p.Requests, 6, 25)
+	mx := r.Child("mix")
+	reqs := make([]Request, len(arrivals))
+	for i, at := range arrivals {
+		reqs[i] = Request{Dataset: "AMC23-fewshot", Problem: mx.IntN(3), Arrival: at}
+	}
+	devices := defaultFleet(p.Seed)
+	for i := range devices {
+		devices[i].KVPlaneBytes = 1 << 30
+	}
+	return Spec{
+		Name:       "shared-prefix-storm",
+		Seed:       p.Seed,
+		Requests:   reqs,
+		Serve:      Serve{Policy: "fcfs"},
+		Devices:    devices,
+		Router:     "prefix",
+		SLOLatency: 120,
 	}
 }

@@ -86,9 +86,39 @@ var (
 	}
 )
 
+// Few-shot serving variants: the same problems and reasoning dynamics,
+// but each prompt carries a multi-shot chain-of-thought exemplar
+// preamble, so prompts run thousands of tokens instead of ~100. This is
+// the regime where prompt-prefix KV reuse has real economics — a prompt's
+// KV state is ~100 MiB and its re-prefill costs real device time — which
+// is what the memory-plane scenarios (cache-thrash, shared-prefix-storm)
+// stress. Step parameters match the base datasets, so only prefill and
+// cache behavior differ.
+var (
+	AIME24FewShot = func() DatasetSpec {
+		s := AIME24
+		s.Name = "AIME24-fewshot"
+		s.PromptLo, s.PromptHi = 3600, 4800
+		return s
+	}()
+	AMC23FewShot = func() DatasetSpec {
+		s := AMC23
+		s.Name = "AMC23-fewshot"
+		s.PromptLo, s.PromptHi = 3000, 4000
+		return s
+	}()
+	MATH500FewShot = func() DatasetSpec {
+		s := MATH500
+		s.Name = "MATH500-fewshot"
+		s.PromptLo, s.PromptHi = 3200, 4200
+		return s
+	}()
+)
+
 // SpecByName returns the dataset spec with the given name.
 func SpecByName(name string) (DatasetSpec, error) {
-	for _, s := range []DatasetSpec{AIME24, AMC23, MATH500, HumanEval} {
+	for _, s := range []DatasetSpec{AIME24, AMC23, MATH500, HumanEval,
+		AIME24FewShot, AMC23FewShot, MATH500FewShot} {
 		if s.Name == name {
 			return s, nil
 		}

@@ -27,8 +27,9 @@ type ScenarioInfo struct {
 
 // Scenarios lists the built-in workload scenario catalog (see
 // internal/scenario): steady, diurnal, flash-crowd, heavy-tail,
-// tenant-mix, fleet-churn, burst-storm, and the controller-driven
-// autoscale-diurnal, flash-absorb, and budget-storm.
+// tenant-mix, fleet-churn, burst-storm, the controller-driven
+// autoscale-diurnal, flash-absorb, and budget-storm, and the KV
+// memory-plane cache-thrash and shared-prefix-storm.
 func Scenarios() []ScenarioInfo {
 	var out []ScenarioInfo
 	for _, s := range scenario.All() {
@@ -58,6 +59,16 @@ type ScenarioOptions struct {
 	// only trades wall-clock time on large scenarios. Ignored by the
 	// server target.
 	Parallelism int
+	// Router, when non-empty, overrides the scenario's fleet routing
+	// discipline on the cluster target (the bench sweeps use it to
+	// compare routers on one stream). Empty keeps the scenario's own
+	// router, so goldens are unaffected.
+	Router string
+	// KVPlaneBytes overrides the per-device KV memory-plane capacity on
+	// every scenario device (warm-pool templates included): positive sets
+	// that capacity in bytes, negative disables the plane entirely, and 0
+	// keeps each device's scenario-defined setting.
+	KVPlaneBytes int64
 }
 
 // ScenarioRun is the outcome of one RunScenario call.
@@ -99,6 +110,23 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioRun, error) {
 		return nil, err
 	}
 	spec := sc.Build(scenario.Params{Requests: opts.Requests, Seed: opts.Seed})
+	if opts.Router != "" {
+		spec.Router = opts.Router
+	}
+	if opts.KVPlaneBytes != 0 {
+		capacity := opts.KVPlaneBytes
+		if capacity < 0 {
+			capacity = 0
+		}
+		for i := range spec.Devices {
+			spec.Devices[i].KVPlaneBytes = capacity
+		}
+		if spec.Autoscale != nil {
+			for i := range spec.Autoscale.Warm {
+				spec.Autoscale.Warm[i].KVPlaneBytes = capacity
+			}
+		}
+	}
 	target := opts.Target
 	if target == "" {
 		target = ScenarioServer
@@ -223,10 +251,11 @@ func materializeRequests(spec scenario.Spec) ([]Request, error) {
 // deviceConfig materializes one scenario device deployment.
 func deviceConfig(d scenario.Device) Config {
 	return Config{
-		GPU:       d.GPU,
-		Algorithm: d.Algorithm,
-		NumBeams:  d.NumBeams,
-		Seed:      d.Seed,
+		GPU:          d.GPU,
+		Algorithm:    d.Algorithm,
+		NumBeams:     d.NumBeams,
+		Seed:         d.Seed,
+		KVPlaneBytes: d.KVPlaneBytes,
 	}
 }
 
