@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench cover scenarios bench-regress bench-perf bench-cache golden
+.PHONY: all build test lint bench cover scenarios bench-regress bench-perf bench-cache bench-metrics golden
 
 all: build lint test
 
@@ -79,6 +79,16 @@ bench-perf:
 # match the committed BENCH_cache.json up to elapsed_ms timings.
 bench-cache:
 	$(GO) run ./cmd/fastttsbench -cache -out .
+
+# Streaming-metrics sweep: feed every synthetic metrics stream —
+# including the 10M-request mega-steady stream, run with no trace
+# retention and its heap growth measured — plus every catalog scenario
+# through both the streaming sketch and the exact sort path, and emit
+# BENCH_metrics.json. Exits nonzero if any p50/p95/p99/mean relative
+# error exceeds the documented bound (metrics.SketchRelErr = 1%) or the
+# mega-steady pass retains more than a constant amount of heap.
+bench-metrics:
+	$(GO) run ./cmd/fastttsbench -metrics -out .
 
 # Regenerate the golden traces after an *intentional* behavior change.
 # Review the resulting diff like code before committing it.

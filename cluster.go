@@ -104,6 +104,14 @@ type ClusterConfig struct {
 	// — Parallelism trades wall-clock time only. See
 	// docs/ARCHITECTURE.md for the sharding protocol.
 	Parallelism int
+	// Metrics selects Stats's aggregation mode: MetricsExact (default)
+	// retains every sample for exact percentiles; MetricsStreaming folds
+	// completions into mergeable quantile sketches as they finish —
+	// constant aggregation state, <1% relative error, and bit-identical
+	// for every Parallelism setting. SLO attainment in streaming mode is
+	// judged against SLOLatency at completion time. See the package
+	// docs' "Streaming metrics".
+	Metrics MetricsMode
 }
 
 // FleetResult is one fleet-served request: the usual ServedResult plus
@@ -245,6 +253,7 @@ type Cluster struct {
 	seed    uint64
 	slo     float64
 	shards  int
+	mode    metrics.Mode
 }
 
 // FleetRun is the outcome of one Cluster.Run.
@@ -364,7 +373,11 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{devices: devices, names: names, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency, shards: cc.Parallelism}
+	mode, err := metrics.ParseMode(string(cc.Metrics))
+	if err != nil {
+		return nil, fmt.Errorf("fasttts: %w", err)
+	}
+	c := &Cluster{devices: devices, names: names, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency, shards: cc.Parallelism, mode: mode}
 	if cc.Autoscale != nil {
 		auto := *cc.Autoscale
 		if _, err := control.ByName(auto.Policy); err != nil {
@@ -391,7 +404,10 @@ func (c *Cluster) newFleet() (*cluster.Fleet, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := cluster.Config{Devices: c.devices, Router: router, Seed: c.seed, Shards: c.shards}
+	cfg := cluster.Config{
+		Devices: c.devices, Router: router, Seed: c.seed, Shards: c.shards,
+		Metrics: c.mode, SLOLatency: c.slo,
+	}
 	if c.auto != nil {
 		ctl, err := control.ByName(c.auto.Policy)
 		if err != nil {

@@ -14,6 +14,8 @@
 //	fastttsbench -scenarios -golden testdata/golden -out .
 //	                                      # regression sweep -> ./BENCH_scenarios.json,
 //	                                      # nonzero exit on any golden mismatch
+//	fastttsbench -metrics -out .          # streaming-sketch error sweep -> ./BENCH_metrics.json,
+//	                                      # nonzero exit past the documented error bound
 package main
 
 import (
@@ -42,6 +44,7 @@ func main() {
 		golden    = flag.String("golden", "", "golden-trace directory to check scenario runs against (e.g. testdata/golden)")
 		requests  = flag.Int("requests", 0, "scenario stream length (0 = scenario default)")
 		cache     = flag.Bool("cache", false, "run the KV memory-plane cache sweep (router x capacity matrix) instead of figures")
+		metricsF  = flag.Bool("metrics", false, "run the streaming-metrics sketch-vs-exact sweep (synthetic streams + scenario catalog) instead of figures")
 
 		perf         = flag.Bool("perf", false, "run the fleet-core perf sweep instead of figures")
 		perfDevs     = flag.String("perf-devices", "1,8,64,256,1024", "comma-separated fleet sizes for -perf")
@@ -128,6 +131,18 @@ func main() {
 			}
 		}
 		if err := runCacheSweep(*out, *requests, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *metricsF {
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := runMetricsSweep(*out, *requests, *seed); err != nil {
 			fatal(err)
 		}
 		return

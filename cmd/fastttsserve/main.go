@@ -5,11 +5,13 @@
 // across a heterogeneous edge fleet under a chosen router, with optional
 // straggler and fail-stop injection. It prints per-request telemetry plus
 // the server- or fleet-level aggregates, or the full stats struct as JSON
-// with -json.
+// with -json. Aggregates default to the constant-memory streaming sketch
+// (percentiles within 1% of exact); -exact restores the sort-based path.
 //
 // Usage:
 //
 //	fastttsserve -n 32 -rate 0.5 -policy sjf
+//	fastttsserve -n 32 -rate 0.5 -exact
 //	fastttsserve -n 16 -closed -concurrency 4 -think 1
 //	fastttsserve -n 24 -policy fcfs -compare sjf -slo 120 -json
 //	fastttsserve -n 32 -devices "RTX 4090,RTX 4090,RTX 4070 Ti,RTX 3070 Ti" \
@@ -62,8 +64,17 @@ func main() {
 		minDevices  = flag.Int("min-devices", 0, "drain floor for scale-down (0 = default 1)")
 		maxDevices  = flag.Int("max-devices", 0, "cap on routable+warming devices (0 = fleet + warm pool)")
 		maxTier     = flag.Int("max-tier", 0, "deepest compute-budget degradation tier (0 = default 2)")
+		exact       = flag.Bool("exact", false, "exact sort-based percentiles (O(requests) memory) instead of the default constant-memory streaming sketch (<1% relative error)")
 	)
 	flag.Parse()
+
+	// The load-test tool defaults to the streaming sketch — the mode a
+	// long-running harness would use — and -exact restores the sort path.
+	// Library and scenario/golden defaults remain exact.
+	metricsMode := fasttts.MetricsStreaming
+	if *exact {
+		metricsMode = fasttts.MetricsExact
+	}
 
 	if !*closed && *rate <= 0 {
 		fatal(fmt.Errorf("open-loop -rate must be positive (got %v)", *rate))
@@ -106,6 +117,7 @@ func main() {
 			minDevices: *minDevices, maxDevices: *maxDevices, maxTier: *maxTier,
 			probs: probs, rate: *rate, seed: *seed, slo: *slo,
 			dataset: *dataset, base: baseCfg, verbose: *verbose, jsonOut: *jsonOut,
+			metrics: metricsMode,
 		})
 		return
 	}
@@ -114,14 +126,15 @@ func main() {
 
 	if !*jsonOut {
 		if *closed {
-			fmt.Printf("closed loop: %d requests, %d clients, think %.1fs, %s on %s\n\n",
+			fmt.Printf("closed loop: %d requests, %d clients, think %.1fs, %s on %s\n",
 				*n, *concurrency, *think, *dataset, *gpu)
 		} else {
-			fmt.Printf("open loop: %d requests, Poisson rate %.2f req/s, %s on %s\n\n",
+			fmt.Printf("open loop: %d requests, Poisson rate %.2f req/s, %s on %s\n",
 				*n, *rate, *dataset, *gpu)
 		}
-		fmt.Printf("%-10s %7s %7s %9s %9s %9s %9s %9s %8s %6s\n",
-			"policy", "served", "reject", "mean_q(s)", "p50(s)", "p95(s)", "p99(s)", "goodput", "slo_att", "mksp")
+		fmt.Printf("metrics: %s\n\n", describeMetrics(metricsMode))
+		fmt.Printf("%-10s %9s %7s %7s %6s %9s %9s %9s %9s %9s %8s %6s\n",
+			"policy", "metrics", "served", "reject", "nonfin", "mean_q(s)", "p50(s)", "p95(s)", "p99(s)", "goodput", "slo_att", "mksp")
 	}
 	report := reportJSON{Mode: "open", Dataset: *dataset, Requests: *n, Rate: *rate, Seed: *seed}
 	if *closed {
@@ -133,6 +146,7 @@ func main() {
 			Policy:      pol,
 			MaxInFlight: *maxInFlight,
 			SLOLatency:  *slo,
+			Metrics:     metricsMode,
 		})
 		if err != nil {
 			fatal(err)
@@ -151,8 +165,8 @@ func main() {
 			report.Runs = append(report.Runs, runJSON{Policy: pol, Stats: st})
 			continue
 		}
-		fmt.Printf("%-10s %7d %7d %9.2f %9.2f %9.2f %9.2f %9.2f %7.0f%% %6.0f\n",
-			pol, st.Served, st.Rejected, st.MeanQueueDelay,
+		fmt.Printf("%-10s %9s %7d %7d %6d %9.2f %9.2f %9.2f %9.2f %9.2f %7.0f%% %6.0f\n",
+			pol, string(metricsMode), st.Served, st.Rejected, st.NonFinite, st.MeanQueueDelay,
 			st.P50Latency, st.P95Latency, st.P99Latency,
 			st.Goodput, 100*st.SLOAttainment, st.Makespan)
 		if *verbose {
@@ -197,6 +211,15 @@ type fleetArgs struct {
 	base        func(uint64) fasttts.Config
 	verbose     bool
 	jsonOut     bool
+	metrics     fasttts.MetricsMode
+}
+
+// describeMetrics renders the aggregation mode for the preamble.
+func describeMetrics(m fasttts.MetricsMode) string {
+	if m == fasttts.MetricsStreaming {
+		return "streaming (constant-memory sketch, <1% relative error; -exact for sort-based percentiles)"
+	}
+	return "exact (sort-based percentiles, O(requests) memory)"
 }
 
 func runFleet(a fleetArgs) {
@@ -248,6 +271,7 @@ func runFleet(a fleetArgs) {
 			Seed:       a.seed,
 			SLOLatency: a.slo,
 			Autoscale:  auto,
+			Metrics:    a.metrics,
 		})
 		if err != nil {
 			fatal(err)
@@ -272,8 +296,9 @@ func runFleet(a fleetArgs) {
 			fmt.Printf("  controller: %s, interval %.0fs, warm pool [%s], warm-up %.0fs\n",
 				a.controller, a.ctlInterval, strings.Join(a.warm, ", "), a.warmup)
 		}
-		fmt.Printf("\n%-10s %7s %7s %7s %9s %9s %9s %9s %6s %6s %6s %8s %8s %6s\n",
-			"router", "served", "reject", "requeue", "p50(s)", "p95(s)", "p99(s)", "goodput", "imb", "hit%", "cache%", "slo_att", "devsec", "mksp")
+		fmt.Printf("  metrics: %s\n", describeMetrics(a.metrics))
+		fmt.Printf("\n%-10s %9s %7s %7s %7s %9s %9s %9s %9s %6s %6s %6s %8s %8s %6s\n",
+			"router", "metrics", "served", "reject", "requeue", "p50(s)", "p95(s)", "p99(s)", "goodput", "imb", "hit%", "cache%", "slo_att", "devsec", "mksp")
 	}
 	report := reportJSON{Mode: "fleet", Dataset: a.dataset, Requests: len(a.probs),
 		Rate: a.rate, Seed: a.seed, Devices: a.gpus}
@@ -287,8 +312,8 @@ func runFleet(a fleetArgs) {
 			report.Runs = append(report.Runs, runJSON{Router: rt, Stats: st})
 			continue
 		}
-		fmt.Printf("%-10s %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %6.2f %5.0f%% %5.0f%% %7.0f%% %8.0f %6.0f\n",
-			rt, st.Served, st.Rejected, st.Requeues,
+		fmt.Printf("%-10s %9s %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %6.2f %5.0f%% %5.0f%% %7.0f%% %8.0f %6.0f\n",
+			rt, string(a.metrics), st.Served, st.Rejected, st.Requeues,
 			st.P50Latency, st.P95Latency, st.P99Latency,
 			st.Goodput, st.ImbalanceCV, 100*st.PrefixHitRate, 100*st.CacheHitRate,
 			100*st.SLOAttainment, st.DeviceSeconds, st.Makespan)

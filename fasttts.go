@@ -143,6 +143,23 @@
 //	run, _ := cl.Run(fasttts.SinusoidalRequests(probs, 0.22, 1, 240, 11))
 //	fmt.Println(run.Stats().DeviceSeconds, run.Actions)
 //
+// # Streaming metrics
+//
+// ServeConfig.Metrics and ClusterConfig.Metrics select how Stats
+// aggregates latency distributions. MetricsExact (the default) buffers
+// and sorts every wall latency: exact nearest-rank percentiles, O(requests)
+// memory, and the mode all committed golden traces are recorded under.
+// MetricsStreaming folds completions into mergeable fixed-boundary
+// quantile sketches as they finish (internal/metrics): aggregation
+// state is constant (~20 KiB) no matter how many requests a run
+// serves, percentiles and means stay within a documented <1% relative
+// error of exact, and — because sketch merges are plain integer sums —
+// the sharded fleet engine produces bit-identical streaming stats for
+// every Parallelism setting. Use streaming for million-request runs
+// where exact retention is the memory ceiling; keep exact wherever
+// conformance against recorded values matters (see README "Streaming
+// metrics" and `make bench-metrics` for the measured error sweep).
+//
 // # Workload scenarios and golden-trace regression
 //
 // RunScenario serves one of the named, composable workload scenarios
@@ -210,6 +227,23 @@ const (
 	ModeFastTTS Mode = "fasttts"
 	// ModeBaseline is the vLLM-style baseline (§6.1).
 	ModeBaseline Mode = "baseline"
+)
+
+// MetricsMode selects how Server.Stats and FleetRun.Stats aggregate
+// latency distributions (see the package docs' "Streaming metrics"
+// section).
+type MetricsMode string
+
+const (
+	// MetricsExact buffers every sample and sorts once: exact
+	// nearest-rank percentiles, O(requests) memory. The default, and
+	// the golden-trace conformance mode.
+	MetricsExact MetricsMode = "exact"
+	// MetricsStreaming aggregates mergeable quantile sketches instead
+	// of retaining samples: constant memory, percentiles within a
+	// documented <1% relative error of exact, bit-identical across
+	// execution engines and shard counts.
+	MetricsStreaming MetricsMode = "streaming"
 )
 
 // Config configures a serving deployment. Zero values select sensible

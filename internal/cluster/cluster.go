@@ -85,6 +85,21 @@ type Config struct {
 	// uses runtime.GOMAXPROCS(0) shards. Every setting produces
 	// bit-identical outcomes; Shards trades wall-clock time only.
 	Shards int
+	// Metrics selects the latency-aggregation mode. ModeExact (the
+	// default, and the golden-conformance path) retains every sample and
+	// sorts once at Stats time. ModeStreaming folds completions into
+	// mergeable quantile sketches as they finish — constant aggregation
+	// state, percentiles within metrics.SketchRelErr of exact, and
+	// bit-identical across engines and shard counts (sketch merges are
+	// integer sums).
+	Metrics metrics.Mode
+	// SLOLatency is the wall-latency target streaming-mode SLO
+	// attainment is counted against (<= 0: no target). Streaming
+	// aggregation judges attainment at completion time because samples
+	// are not retained, so Outcome.Stats must later be called with the
+	// same target; exact mode ignores this field and uses the Stats
+	// argument.
+	SLOLatency float64
 }
 
 // Result is one fleet-served request: the device-level telemetry plus
@@ -121,27 +136,44 @@ type Outcome struct {
 	Actions []ActionRecord
 	// Control summarizes the controller's activity; nil without one.
 	Control *metrics.ControlStats
+	// Serve is the streaming aggregation of the served stream; nil in
+	// exact mode. It already folded every completion (against
+	// Config.SLOLatency), so Stats can summarize without rescanning
+	// Results.
+	Serve *metrics.ServeAccum
 }
 
 // Stats reduces the outcome to fleet-level aggregates. sloLatency is the
-// wall-latency target in seconds (<= 0: none).
+// wall-latency target in seconds (<= 0: none). A streaming-mode run
+// whose Serve accumulator was built against the same target summarizes
+// from the sketches; otherwise (exact mode, or a different target than
+// the run was configured with) the Results are rescanned exactly.
 func (o *Outcome) Stats(sloLatency float64) metrics.FleetStats {
-	samples := make([]metrics.ServeSample, len(o.Results))
-	for i, r := range o.Results {
-		samples[i] = metrics.ServeSample{
-			Arrival: r.Arrival, Start: r.Start, Finish: r.Finish,
-			Tokens: r.UsefulTokens, Rejected: r.Rejected,
-		}
-	}
-	return metrics.SummarizeFleet(metrics.FleetInput{
-		Samples:      samples,
+	in := metrics.FleetInput{
 		Devices:      o.Devices,
 		Requeues:     o.Requeues,
 		PrefixHits:   o.PrefixHits,
 		PrefixMisses: o.PrefixMisses,
 		SLOLatency:   sloLatency,
 		Control:      o.Control,
-	})
+	}
+	if o.Serve != nil && o.Serve.SLOLatency == sloLatency {
+		in.Serve = o.Serve
+		return metrics.SummarizeFleet(in)
+	}
+	in.Samples = make([]metrics.ServeSample, len(o.Results))
+	for i, r := range o.Results {
+		in.Samples[i] = serveSample(r)
+	}
+	return metrics.SummarizeFleet(in)
+}
+
+// serveSample projects one fleet result onto the metrics layer's sample.
+func serveSample(r Result) metrics.ServeSample {
+	return metrics.ServeSample{
+		Arrival: r.Arrival, Start: r.Start, Finish: r.Finish,
+		Tokens: r.UsefulTokens, Rejected: r.Rejected,
+	}
 }
 
 // Fleet is a configured fleet simulator. A Fleet is single-run: routers
@@ -159,6 +191,11 @@ func New(cfg Config) (*Fleet, error) {
 	if len(cfg.Devices) == 0 {
 		return nil, fmt.Errorf("cluster: fleet needs at least one device")
 	}
+	mode, err := metrics.ParseMode(string(cfg.Metrics))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	cfg.Metrics = mode
 	if cfg.Router == nil {
 		cfg.Router = &RoundRobin{}
 	}
@@ -306,6 +343,9 @@ func (f *Fleet) newRun(reqs []core.Request) (*run, error) {
 	}
 	if wa, ok := f.cfg.Router.(WorkAware); ok {
 		r.needWork = wa.NeedsOutstandingWork()
+	}
+	if f.cfg.Metrics == metrics.ModeStreaming {
+		r.acc.EnableStreaming(f.cfg.SLOLatency)
 	}
 	r.vs = make([]DeviceView, len(devs))
 	r.posInVs = make([]int, len(devs))
@@ -495,7 +535,11 @@ func (r *run) collect(horizon float64) error {
 		}
 		for _, sv := range served {
 			d.settlePrefix(sv, &r.acc)
-			r.out.Results = append(r.out.Results, r.buildResult(sv, i))
+			res := r.buildResult(sv, i)
+			r.out.Results = append(r.out.Results, res)
+			if r.acc.Streaming() {
+				r.acc.AddSample(0, serveSample(res))
+			}
 			if !sv.Rejected {
 				d.served++
 				d.tokens += sv.UsefulTokens
@@ -541,16 +585,20 @@ func (r *run) routeArrival(pr pendingReq) error {
 		// the request at this instant, reported against its original
 		// submission time. (Any stale acct entry for a requeued request
 		// is stranded on its failed device and never settles.)
-		r.out.Results = append(r.out.Results, Result{
+		res := Result{
 			ServedResult: core.ServedResult{
 				Arrival: r.origArrival[pr.req.Tag], Start: at, Finish: at,
 				Rejected: true, Tag: pr.req.Tag,
 			},
 			Device:   -1,
 			Requeues: pr.requeues,
-		})
+		}
+		r.out.Results = append(r.out.Results, res)
+		if r.acc.Streaming() {
+			r.acc.AddSample(0, serveSample(res))
+		}
 		if r.el != nil {
-			r.el.winRejected++
+			r.el.win.Rejected++
 		}
 		return nil
 	}
@@ -743,6 +791,7 @@ func (r *run) finish() {
 	}
 	r.out.PrefixHits = r.acc.PrefixHits
 	r.out.PrefixMisses = r.acc.PrefixMisses
+	r.out.Serve = r.acc.Serve()
 	if r.el != nil {
 		r.el.finish(r.out)
 	}

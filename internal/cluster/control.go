@@ -118,9 +118,12 @@ type elastic struct {
 	stats   metrics.ControlStats
 	actions []ActionRecord
 
-	// Window accumulators, reset every tick.
-	winServed, winRejected, winArrivals, winSLOHits int
-	winQDelay                                       float64
+	// win accumulates the tick window incrementally (completions,
+	// arrivals, SLO hits, queue-delay sum) — the shared metrics-layer
+	// window primitive, reset every tick. Both engines observe
+	// completions in the same canonical order, so its one float sum is
+	// bit-identical between them.
+	win metrics.TickWindow
 }
 
 func newElastic(f *Fleet, founding int) *elastic {
@@ -164,14 +167,9 @@ func (el *elastic) nextTickEvent(r *run, haveArrival bool) (float64, int, bool) 
 // requeues, admission rejections, and overrides the algorithm's
 // ClampWidth floor restored to full width all don't.
 func (el *elastic) observe(sv core.ServedResult, d *device) {
+	el.win.Observe(sv.QueueDelay, sv.WallLatency, sv.Rejected, el.cfg.SLOLatency)
 	if sv.Rejected {
-		el.winRejected++
 		return
-	}
-	el.winServed++
-	el.winQDelay += sv.QueueDelay
-	if el.cfg.SLOLatency <= 0 || sv.WallLatency <= el.cfg.SLOLatency {
-		el.winSLOHits++
 	}
 	if sv.Width > 0 && sv.Width < d.spec.Config.Policy.Width() {
 		el.stats.DegradedRequests++
@@ -183,7 +181,7 @@ func (el *elastic) observe(sv core.ServedResult, d *device) {
 // width k times. Tier 0 restores the full budget (also for requeued
 // requests that were degraded on their first routing).
 func (el *elastic) budget(rq *core.Request, d *device) {
-	el.winArrivals++
+	el.win.Arrivals++
 	if el.tier <= 0 {
 		rq.Width = 0
 		return
@@ -207,8 +205,8 @@ func (el *elastic) signals(r *run, now float64) control.Signals {
 		WarmAvailable: el.warmFree,
 		MinDevices:    el.cfg.MinDevices,
 		MaxDevices:    el.cfg.MaxDevices,
-		Arrivals:      el.winArrivals,
-		Completions:   el.winServed + el.winRejected,
+		Arrivals:      el.win.Arrivals,
+		Completions:   el.win.Completions(),
 		Tier:          el.tier,
 		MaxTier:       el.cfg.MaxTier,
 		SLOAttainment: 1,
@@ -232,12 +230,8 @@ func (el *elastic) signals(r *run, now float64) control.Signals {
 			sig.Utilization = 1
 		}
 	}
-	if el.winServed > 0 {
-		sig.QueueDelay = el.winQDelay / float64(el.winServed)
-	}
-	if done := el.winServed + el.winRejected; done > 0 && el.cfg.SLOLatency > 0 {
-		sig.SLOAttainment = float64(el.winSLOHits) / float64(done)
-	}
+	sig.QueueDelay = el.win.MeanQueueDelay()
+	sig.SLOAttainment = el.win.Attainment(el.cfg.SLOLatency)
 	return sig
 }
 
@@ -260,8 +254,7 @@ func (el *elastic) tick(r *run, now float64) {
 		}
 		el.actions = append(el.actions, rec)
 	}
-	el.winServed, el.winRejected, el.winArrivals, el.winSLOHits = 0, 0, 0, 0
-	el.winQDelay = 0
+	el.win.Reset()
 	el.nextTick = now + el.cfg.Interval
 }
 

@@ -90,7 +90,7 @@ type shardOut struct {
 
 func (o *shardOut) reset() {
 	o.groups = o.groups[:0]
-	o.acc = metrics.FleetAccum{}
+	o.acc.Reset() // keeps capacity and the streaming mode across passes
 	o.err = nil
 }
 
@@ -110,6 +110,7 @@ type shardSet struct {
 	// Scratch, reused across passes.
 	dueBufs [][]int
 	outs    []shardOut
+	accs    []*metrics.FleetAccum // &outs[s].acc, for the driver's k-way fold
 	tasks   [][]int
 	pushes  [][]spanPush // indexed by device; non-empty only mid-span
 	touched []int        // devices with pushes in the current span
@@ -130,8 +131,16 @@ func newShardSet(r *run, n int) *shardSet {
 		pushes:  make([][]spanPush, nd),
 		heads:   make([]int, n),
 	}
+	ss.accs = make([]*metrics.FleetAccum, n)
 	for s := range ss.heaps {
 		ss.heaps[s] = newWakeHeap(nd)
+		ss.accs[s] = &ss.outs[s].acc
+		if r.acc.Streaming() {
+			// Shard workers stream into private sketches; the driver's
+			// MergeAll folds them as integer sums, so shard count cannot
+			// perturb the aggregates.
+			ss.outs[s].acc.EnableStreaming(r.f.cfg.SLOLatency)
+		}
 	}
 	if vo, ok := r.f.cfg.Router.(ViewOblivious); ok {
 		ss.oblivious = vo.RouteViewOblivious()
@@ -177,7 +186,11 @@ func (ss *shardSet) stepDevice(r *run, dev, win int, horizon float64, out *shard
 		g := resGroup{win: win, dev: dev, results: make([]Result, 0, len(served))}
 		for _, sv := range served {
 			d.settlePrefix(sv, &out.acc)
-			g.results = append(g.results, r.buildResult(sv, dev))
+			res := r.buildResult(sv, dev)
+			g.results = append(g.results, res)
+			if out.acc.Streaming() {
+				out.acc.AddSample(0, serveSample(res))
+			}
 			if !sv.Rejected {
 				d.served++
 				d.tokens += sv.UsefulTokens
@@ -434,8 +447,11 @@ func (ss *shardSet) merge(r *run, shedWin []int, shedRes []Result) error {
 		}
 		if sp < len(shedWin) && (bs < 0 || shedWin[sp] < bw) {
 			r.out.Results = append(r.out.Results, shedRes[sp])
+			if r.acc.Streaming() {
+				r.acc.AddSample(0, serveSample(shedRes[sp]))
+			}
 			if r.el != nil {
-				r.el.winRejected++
+				r.el.win.Rejected++
 			}
 			sp++
 			continue
@@ -452,9 +468,9 @@ func (ss *shardSet) merge(r *run, shedWin []int, shedRes []Result) error {
 			}
 		}
 	}
-	for s := range ss.outs {
-		r.acc.Merge(&ss.outs[s].acc)
-	}
+	// One k-way fold per pass: a pairwise Merge loop would copy the
+	// driver accumulator's keyed state once per shard.
+	r.acc.MergeAll(ss.accs...)
 	return nil
 }
 

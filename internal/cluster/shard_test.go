@@ -9,6 +9,7 @@ package cluster
 // property sweep.
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 	"fasttts/internal/control"
 	"fasttts/internal/core"
 	"fasttts/internal/hw"
+	"fasttts/internal/metrics"
 	"fasttts/internal/rng"
 	"fasttts/internal/workload"
 )
@@ -239,6 +241,90 @@ func TestNegativeShardsUsesCores(t *testing.T) {
 	}
 	seq, sh := runEngines(t, mk, reqs, -1)
 	diffOutcomes(t, "auto-shards", seq, sh)
+}
+
+// TestShardedEquivalenceStreaming runs both engines in streaming-metrics
+// mode: per-shard ServeAccums merged on the driver must leave the
+// Outcome — including the accumulated sketch state — bit-identical to
+// the sequential engine at every shard count, and the materialized
+// FleetStats must agree float-for-float.
+func TestShardedEquivalenceStreaming(t *testing.T) {
+	reqs := taggedStream(t, repeatedProblems(t, 60, 5), 2.0, 11)
+	const slo = 30.0
+	for _, router := range []string{"rr", "least-work", "prefix"} {
+		for _, shards := range []int{2, 3, 8, -1} {
+			mk := func() Config {
+				rt, err := RouterByName(router)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return Config{
+					Devices: equivFleet(t), Router: rt, Seed: 3,
+					Metrics: metrics.ModeStreaming, SLOLatency: slo,
+				}
+			}
+			label := router + "/streaming/shards=" + strconv.Itoa(shards)
+			seq, sh := runEngines(t, mk, reqs, shards)
+			diffOutcomes(t, label, seq, sh)
+			if seq.Serve == nil || sh.Serve == nil {
+				t.Fatalf("%s: streaming run did not carry a ServeAccum", label)
+			}
+			if seq.Serve.Stats() != sh.Serve.Stats() {
+				t.Errorf("%s: merged streaming stats diverge:\n  seq: %+v\n  shd: %+v",
+					label, seq.Serve.Stats(), sh.Serve.Stats())
+			}
+			if !reflect.DeepEqual(seq.Stats(slo), sh.Stats(slo)) {
+				t.Errorf("%s: fleet stats diverge", label)
+			}
+		}
+	}
+}
+
+// TestStreamingStatsNearExact compares a streaming run's fleet stats to
+// the same run in exact mode: counters and maxima identical, latency
+// distribution within the sketch's documented error.
+func TestStreamingStatsNearExact(t *testing.T) {
+	reqs := taggedStream(t, repeatedProblems(t, 80, 5), 2.0, 13)
+	const slo = 30.0
+	run := func(mode metrics.Mode) metrics.FleetStats {
+		rt, err := RouterByName("least-work")
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := New(Config{Devices: equivFleet(t), Router: rt, Seed: 3, Metrics: mode, SLOLatency: slo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := f.Run(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.Stats(slo)
+	}
+	exact := run(metrics.ModeExact)
+	stream := run(metrics.ModeStreaming)
+	if stream.Served != exact.Served || stream.Rejected != exact.Rejected ||
+		stream.Makespan != exact.Makespan || stream.Goodput != exact.Goodput ||
+		stream.SLOAttainment != exact.SLOAttainment {
+		t.Errorf("exact-agreement fields diverge:\n  stream: %+v\n  exact: %+v", stream, exact)
+	}
+	for _, c := range []struct {
+		label         string
+		stream, exact float64
+	}{
+		{"p50", stream.P50Latency, exact.P50Latency},
+		{"p95", stream.P95Latency, exact.P95Latency},
+		{"p99", stream.P99Latency, exact.P99Latency},
+		{"mean latency", stream.MeanLatency, exact.MeanLatency},
+	} {
+		if c.exact == 0 {
+			continue
+		}
+		if rel := math.Abs(c.stream-c.exact) / c.exact; rel > metrics.SketchRelErr {
+			t.Errorf("%s: streaming %v vs exact %v, relative error %v > %v",
+				c.label, c.stream, c.exact, rel, metrics.SketchRelErr)
+		}
+	}
 }
 
 // TestShardedEquivalenceKVPlane enables the KV memory plane at a tight

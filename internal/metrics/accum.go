@@ -4,8 +4,16 @@ package metrics
 // The sharded fleet engine gives every shard worker its own accumulator;
 // merging them in any order and summarizing reproduces the sequential
 // FleetStats exactly, because every piece of state is either an
-// order-independent sum (prefix/requeue counters), keyed by a canonical
-// merge position (samples), or keyed by fleet device index (telemetry).
+// order-independent sum (prefix/requeue counters, streaming sketches),
+// keyed by a canonical merge position (samples), or keyed by fleet
+// device index (telemetry).
+//
+// Two aggregation modes share the type. In exact mode (the default and
+// the golden-conformance path) served samples are retained keyed for a
+// later exact summary. In streaming mode (EnableStreaming) samples fold
+// into a constant-size ServeAccum at observation time and are never
+// retained — the shape that keeps million-request fleet runs in bounded
+// memory.
 
 type keyedSample struct {
 	key uint64
@@ -18,7 +26,7 @@ type keyedDevice struct {
 }
 
 // FleetAccum accumulates one shard's share of a fleet run. The zero
-// value is ready to use.
+// value is an exact-mode accumulator ready to use.
 type FleetAccum struct {
 	// Requeues counts failure-induced migrations observed by this shard.
 	Requeues int
@@ -28,13 +36,38 @@ type FleetAccum struct {
 
 	samples []keyedSample
 	devices []keyedDevice
+	serve   *ServeAccum // non-nil in streaming mode
 }
 
-// AddSample records one served-stream sample at its canonical merge key
-// (the sample's position in the fleet's sequential result order, e.g.
-// window<<20 | device). Keys must be strictly increasing per accumulator
-// and unique across the accumulators that will be merged.
+// EnableStreaming switches the accumulator to streaming aggregation:
+// subsequent AddSample calls fold into a ServeAccum (judging SLO
+// attainment against sloLatency) instead of retaining keyed samples.
+// Must be called before the first AddSample.
+func (a *FleetAccum) EnableStreaming(sloLatency float64) {
+	if len(a.samples) > 0 {
+		panic("metrics: FleetAccum.EnableStreaming after samples were retained")
+	}
+	a.serve = NewServeAccum(sloLatency)
+}
+
+// Streaming reports whether the accumulator aggregates into sketches.
+func (a *FleetAccum) Streaming() bool { return a.serve != nil }
+
+// Serve exposes the streaming accumulator (nil in exact mode).
+func (a *FleetAccum) Serve() *ServeAccum { return a.serve }
+
+// AddSample records one served-stream sample. In exact mode it is
+// retained at its canonical merge key (the sample's position in the
+// fleet's sequential result order, e.g. window<<20 | device); keys must
+// be strictly increasing per accumulator and unique across the
+// accumulators that will be merged. In streaming mode the key is
+// irrelevant (sketch merge is order-independent) and the sample is
+// folded in immediately.
 func (a *FleetAccum) AddSample(key uint64, s ServeSample) {
+	if a.serve != nil {
+		a.serve.Observe(s)
+		return
+	}
 	a.samples = append(a.samples, keyedSample{key: key, s: s})
 }
 
@@ -45,20 +78,55 @@ func (a *FleetAccum) AddDevice(index int, d FleetDevice) {
 	a.devices = append(a.devices, keyedDevice{index: index, d: d})
 }
 
+// Reset clears the accumulator for reuse (shard workers reset between
+// passes), keeping allocated capacity and the aggregation mode.
+func (a *FleetAccum) Reset() {
+	a.Requeues, a.PrefixHits, a.PrefixMisses = 0, 0, 0
+	a.samples = a.samples[:0]
+	a.devices = a.devices[:0]
+	if a.serve != nil {
+		a.serve.Reset()
+	}
+}
+
 // Merge folds b into a: counters add, samples merge by key, devices
-// merge by index. b is left in an unspecified state.
+// merge by index, streaming accumulators merge sketch-wise. b is left
+// in an unspecified state. Pairwise folding S shards costs O(S·N)
+// copying — drivers folding a whole shard set should call MergeAll.
 func (a *FleetAccum) Merge(b *FleetAccum) {
-	a.Requeues += b.Requeues
-	a.PrefixHits += b.PrefixHits
-	a.PrefixMisses += b.PrefixMisses
-	a.samples = mergeBy(a.samples, b.samples, func(x, y keyedSample) bool { return x.key < y.key })
-	a.devices = mergeBy(a.devices, b.devices, func(x, y keyedDevice) bool { return x.index < y.index })
+	a.MergeAll(b)
+}
+
+// MergeAll folds every b into a with one k-way pass per keyed slice: a
+// single output allocation sized to the final length, instead of the
+// O(S·N) transient copying a pairwise fold performs. The bs are left in
+// an unspecified state (their storage is never aliased, so resetting and
+// reusing them is safe).
+func (a *FleetAccum) MergeAll(bs ...*FleetAccum) {
+	for _, b := range bs {
+		a.Requeues += b.Requeues
+		a.PrefixHits += b.PrefixHits
+		a.PrefixMisses += b.PrefixMisses
+		if b.serve != nil {
+			if a.serve == nil {
+				a.serve = NewServeAccum(b.serve.SLOLatency)
+			}
+			a.serve.Merge(b.serve)
+		}
+	}
+	a.samples = mergeRuns(a.samples, bs,
+		func(b *FleetAccum) []keyedSample { return b.samples },
+		func(x, y keyedSample) bool { return x.key < y.key })
+	a.devices = mergeRuns(a.devices, bs,
+		func(b *FleetAccum) []keyedDevice { return b.devices },
+		func(x, y keyedDevice) bool { return x.index < y.index })
 }
 
 // Input assembles the merged accumulator into a SummarizeFleet input:
-// samples in canonical key order, devices dense in index order (absent
-// indexes read as zero telemetry — they never occur when every shard
-// reports its devices).
+// in exact mode, samples in canonical key order; in streaming mode, the
+// ServeAccum rides along instead (Samples stays nil). Devices are dense
+// in index order (absent indexes read as zero telemetry — they never
+// occur when every shard reports its devices).
 func (a *FleetAccum) Input(sloLatency float64, control *ControlStats) FleetInput {
 	in := FleetInput{
 		Requeues:     a.Requeues,
@@ -66,10 +134,13 @@ func (a *FleetAccum) Input(sloLatency float64, control *ControlStats) FleetInput
 		PrefixMisses: a.PrefixMisses,
 		SLOLatency:   sloLatency,
 		Control:      control,
+		Serve:        a.serve,
 	}
-	in.Samples = make([]ServeSample, len(a.samples))
-	for i, ks := range a.samples {
-		in.Samples[i] = ks.s
+	if a.serve == nil {
+		in.Samples = make([]ServeSample, len(a.samples))
+		for i, ks := range a.samples {
+			in.Samples[i] = ks.s
+		}
 	}
 	maxIdx := -1
 	for _, kd := range a.devices {
@@ -91,25 +162,43 @@ func (a *FleetAccum) Summarize(sloLatency float64, control *ControlStats) FleetS
 	return SummarizeFleet(a.Input(sloLatency, control))
 }
 
-// mergeBy merges two slices, each already sorted by less, into one.
-func mergeBy[T any](xs, ys []T, less func(a, b T) bool) []T {
-	if len(ys) == 0 {
-		return xs
-	}
-	if len(xs) == 0 {
-		return append(xs, ys...)
-	}
-	out := make([]T, 0, len(xs)+len(ys))
-	i, j := 0, 0
-	for i < len(xs) && j < len(ys) {
-		if less(ys[j], xs[i]) {
-			out = append(out, ys[j])
-			j++
-		} else {
-			out = append(out, xs[i])
-			i++
+// mergeRuns merges dst and every source run (each already sorted by
+// less, keys unique across runs) into one sorted slice with a single
+// output allocation. Empty runs cost nothing; when nothing but dst has
+// elements, dst is returned untouched. Source storage is never aliased
+// into the result.
+func mergeRuns[T any](dst []T, bs []*FleetAccum, src func(*FleetAccum) []T, less func(a, b T) bool) []T {
+	extra, nonEmpty := 0, 0
+	for _, b := range bs {
+		if r := src(b); len(r) > 0 {
+			extra += len(r)
+			nonEmpty++
 		}
 	}
-	out = append(out, xs[i:]...)
-	return append(out, ys[j:]...)
+	if extra == 0 {
+		return dst
+	}
+	out := make([]T, 0, len(dst)+extra)
+	heads := make([][]T, 0, nonEmpty+1)
+	if len(dst) > 0 {
+		heads = append(heads, dst)
+	}
+	for _, b := range bs {
+		if r := src(b); len(r) > 0 {
+			heads = append(heads, r)
+		}
+	}
+	for len(heads) > 1 {
+		m := 0
+		for i := 1; i < len(heads); i++ {
+			if less(heads[i][0], heads[m][0]) {
+				m = i
+			}
+		}
+		out = append(out, heads[m][0])
+		if heads[m] = heads[m][1:]; len(heads[m]) == 0 {
+			heads = append(heads[:m], heads[m+1:]...)
+		}
+	}
+	return append(out, heads[0]...)
 }

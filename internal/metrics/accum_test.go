@@ -201,6 +201,40 @@ func TestFleetAccumEmptyShards(t *testing.T) {
 	}
 }
 
+// TestFleetAccumMergeAllAllocs is the regression for the O(S·N) pairwise
+// fold: merging S shard accumulators of N samples each must cost a small
+// constant number of allocations (one output slice per keyed kind plus
+// bookkeeping), not one fresh len(xs)+len(ys) slice per pairwise step.
+func TestFleetAccumMergeAllAllocs(t *testing.T) {
+	build := func(shards, perShard int) []*FleetAccum {
+		accs := make([]*FleetAccum, shards)
+		for s := range accs {
+			accs[s] = &FleetAccum{}
+			for i := 0; i < perShard; i++ {
+				key := uint64(i*shards + s)
+				accs[s].AddSample(key, ServeSample{Arrival: float64(key), Finish: float64(key) + 1})
+			}
+			accs[s].AddDevice(s, FleetDevice{Served: perShard})
+		}
+		return accs
+	}
+	for _, shards := range []int{4, 32} {
+		accs := build(shards, 128)
+		allocs := testing.AllocsPerRun(20, func() {
+			root := &FleetAccum{}
+			root.MergeAll(accs...)
+			if len(root.samples) != shards*128 {
+				t.Fatalf("merged %d samples, want %d", len(root.samples), shards*128)
+			}
+		})
+		// root + samples out/heads + devices out/heads: constant, and —
+		// the point — independent of the shard count.
+		if allocs > 8 {
+			t.Errorf("MergeAll(%d shards) = %v allocs/op, want a small constant ≤ 8", shards, allocs)
+		}
+	}
+}
+
 // TestFleetAccumInputShape pins the assembled FleetInput: samples in key
 // order and devices dense in index order, regardless of which shard
 // reported what.

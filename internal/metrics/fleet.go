@@ -102,8 +102,14 @@ type FleetStats struct {
 
 // FleetInput bundles the inputs of SummarizeFleet.
 type FleetInput struct {
-	// Samples is the merged fleet stream.
+	// Samples is the merged fleet stream (exact mode; nil when Serve is
+	// set).
 	Samples []ServeSample
+	// Serve, when non-nil, is a streaming accumulator that already
+	// folded the fleet stream — SummarizeFleet takes its Stats instead
+	// of summarizing Samples, and the latency distribution carries the
+	// sketch's SketchRelErr bound.
+	Serve *ServeAccum
 	// Devices is the per-device telemetry, indexed by device.
 	Devices []FleetDevice
 	// Requeues counts failure-induced request migrations.
@@ -123,9 +129,13 @@ type FleetInput struct {
 // to fleet-level aggregates.
 func SummarizeFleet(in FleetInput) FleetStats {
 	st := FleetStats{
-		ServeStats: SummarizeServe(in.Samples, in.SLOLatency),
-		Requeues:   in.Requeues,
-		Control:    in.Control,
+		Requeues: in.Requeues,
+		Control:  in.Control,
+	}
+	if in.Serve != nil {
+		st.ServeStats = in.Serve.Stats()
+	} else {
+		st.ServeStats = SummarizeServe(in.Samples, in.SLOLatency)
 	}
 	// The imbalance coefficient compares per-device busy time, but a
 	// device the control plane added late (or drained early) was only

@@ -1,6 +1,22 @@
-// Package metrics implements the paper's evaluation metrics (§6.1):
+// Package metrics implements the paper's evaluation metrics (§6.1) —
 // Precise Goodput, completion latency, Top-1 accuracy via majority
-// voting, and Pass@N accuracy with verifier-score ranking.
+// voting, Pass@N accuracy with verifier-score ranking — plus the
+// serving-side aggregation layers built on them:
+//
+//   - serve.go: exact server-level aggregates over a served stream
+//     (nearest-rank latency percentiles, queue delay, goodput, SLO
+//     attainment); the golden-conformance path.
+//   - sketch.go / streaming.go: the constant-memory streaming
+//     counterpart — a deterministic mergeable quantile sketch
+//     (Sketch), the ServeAccum stream accumulator, and the TickWindow
+//     control-plane window. Percentiles carry the documented
+//     SketchRelErr (< 1%) bound; merges are bit-identical in any
+//     order.
+//   - fleet.go / accum.go: fleet-level aggregates (per-device
+//     utilization, imbalance, cache telemetry) and the mergeable
+//     per-shard FleetAccum the sharded engine folds on the driver.
+//   - control.go: elastic-control-plane summaries and the SLO-vs-cost
+//     frontier.
 package metrics
 
 import (

@@ -5,6 +5,7 @@ package metrics
 // whole served request stream.
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -36,27 +37,54 @@ type ServeStats struct {
 	// latency met the target; rejected requests count as misses, since
 	// shed load is not attained load. It is 1 when no target was set.
 	SLOAttainment float64
+	// NonFinite counts served samples dropped from every aggregate
+	// because their telemetry was NaN or ±Inf — a single unfiltered NaN
+	// silently poisons sort.Float64s ordering and with it every
+	// percentile, so corrupt samples are counted instead of aggregated.
+	NonFinite int
 }
 
-// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs by the
-// nearest-rank method, 0 for empty input. xs need not be sorted.
+// isFinite reports whether x is an ordinary float — not NaN, not ±Inf.
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// checkPercentile enforces the documented percentile domain. A caller
+// typo (p = 0.99 meaning 99, p = 999) must not masquerade as a valid
+// percentile, so out-of-domain p panics rather than clamping.
+func checkPercentile(p float64) {
+	if math.IsNaN(p) || p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile p must be in [0, 100], got %v", p))
+	}
+}
+
+// Percentile returns the p-th percentile of xs by the nearest-rank
+// method, 0 for empty input. xs need not be sorted; NaN/±Inf entries are
+// ignored (they have no rank). p outside [0, 100] panics.
 func Percentile(xs []float64, p float64) float64 {
+	checkPercentile(p)
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if isFinite(x) {
+			sorted = append(sorted, x)
+		}
+	}
 	sort.Float64s(sorted)
 	return sortedPercentile(sorted, p)
 }
 
-// sortedPercentile is Percentile over an already-sorted slice: the
-// nearest-rank index, no copy, no re-sort. Aggregations that need
-// several percentiles of one sample sort once and index repeatedly.
+// sortedPercentile is Percentile over an already-sorted, all-finite
+// slice: the nearest-rank index, no copy, no re-sort. Aggregations that
+// need several percentiles of one sample sort once and index repeatedly.
 func sortedPercentile(sorted []float64, p float64) float64 {
+	checkPercentile(p)
 	if len(sorted) == 0 {
 		return 0
 	}
-	if p <= 0 {
+	if p == 0 {
 		return sorted[0]
 	}
 	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
@@ -71,12 +99,15 @@ func sortedPercentile(sorted []float64, p float64) float64 {
 
 // SummarizeServe reduces a served stream to server-level aggregates.
 // sloLatency is the wall-latency target in seconds; <= 0 disables the
-// SLO-attainment metric (reported as 1).
+// SLO-attainment metric (reported as 1). This is the exact path — it
+// buffers and sorts every wall latency, so memory grows with the
+// stream; SummarizeServeStreaming is the constant-memory alternative.
 //
 // Empty and all-rejected streams are well-defined, never NaN/Inf: every
 // aggregate is zero-valued, except SLOAttainment, which is 1 (vacuous)
 // on an empty stream and 0 when load was submitted under a target but
-// nothing met it.
+// nothing met it. Served samples whose queue or wall latency is NaN or
+// ±Inf are dropped from every aggregate and counted in NonFinite.
 func SummarizeServe(samples []ServeSample, sloLatency float64) ServeStats {
 	s := ServeStats{SLOAttainment: 1}
 	var queued, wall []float64
@@ -87,9 +118,13 @@ func SummarizeServe(samples []ServeSample, sloLatency float64) ServeStats {
 			s.Rejected++
 			continue
 		}
-		s.Served++
 		q := sm.Start - sm.Arrival
 		w := sm.Finish - sm.Arrival
+		if !isFinite(q) || !isFinite(w) {
+			s.NonFinite++
+			continue
+		}
+		s.Served++
 		queued = append(queued, q)
 		wall = append(wall, w)
 		tokens += sm.Tokens

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fasttts/internal/metrics"
+)
+
+func TestMetricsStreamCatalogShape(t *testing.T) {
+	streams := MetricsStreams()
+	if len(streams) != 4 {
+		t.Fatalf("catalog has %d streams, want 4", len(streams))
+	}
+	seen := map[string]bool{}
+	for _, m := range streams {
+		if m.Name == "" || m.Description == "" || m.Requests <= 0 {
+			t.Errorf("stream %+v incomplete", m)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate stream name %q", m.Name)
+		}
+		seen[m.Name] = true
+		got, err := MetricsStreamByName(m.Name)
+		if err != nil || got.Name != m.Name {
+			t.Errorf("MetricsStreamByName(%q) = %+v, %v", m.Name, got, err)
+		}
+	}
+	if !seen["mega-steady"] {
+		t.Error("catalog missing mega-steady")
+	}
+	if _, err := MetricsStreamByName("no-such-stream"); err == nil {
+		t.Error("MetricsStreamByName accepted unknown name")
+	}
+}
+
+func TestMetricsStreamDeterministicAndFinite(t *testing.T) {
+	const n = 5_000
+	for _, m := range MetricsStreams() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			collect := func(seed uint64) []metrics.ServeSample {
+				out := make([]metrics.ServeSample, 0, n)
+				m.Emit(seed, n, func(s metrics.ServeSample) { out = append(out, s) })
+				return out
+			}
+			a, b := collect(7), collect(7)
+			if len(a) != n {
+				t.Fatalf("emitted %d samples, want %d", len(a), n)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("same seed produced different streams")
+			}
+			if reflect.DeepEqual(a, collect(8)) {
+				t.Fatal("different seeds produced identical streams")
+			}
+			for i, s := range a {
+				if s.Rejected {
+					continue
+				}
+				wall := s.Finish - s.Arrival
+				queue := s.Start - s.Arrival
+				for _, v := range []float64{wall, queue} {
+					if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+						t.Fatalf("sample %d: non-finite or negative telemetry %v", i, v)
+					}
+					// Stay inside the sketch's relative-accuracy range so the
+					// bench harness's error-bound assertion is never vacuous.
+					if v > 1e5 {
+						t.Fatalf("sample %d: latency %v above sketch range", i, v)
+					}
+				}
+				if s.Tokens <= 0 {
+					t.Fatalf("sample %d: non-positive tokens %d", i, s.Tokens)
+				}
+			}
+		})
+	}
+}

@@ -71,6 +71,10 @@ type ServeConfig struct {
 	// SLOLatency is the per-request wall-latency target in seconds used
 	// by Stats; 0 disables SLO accounting.
 	SLOLatency float64
+	// Metrics selects Stats's aggregation mode: MetricsExact (default)
+	// or MetricsStreaming (constant-memory sketch percentiles, <1%
+	// relative error). See the package docs' "Streaming metrics".
+	Metrics MetricsMode
 }
 
 // ServeStats aggregates a served request stream (see Server.Stats).
@@ -88,6 +92,9 @@ type ServeStats struct {
 	// SLOLatency (rejected requests count as misses); 1 when no target
 	// is set.
 	SLOAttainment float64
+	// NonFinite counts served samples excluded from every aggregate
+	// because their telemetry was NaN or ±Inf (0 on healthy streams).
+	NonFinite int
 }
 
 // Server serves a stream of TTS requests with the multi-tenant serving
@@ -100,6 +107,7 @@ type ServeStats struct {
 type Server struct {
 	inner *core.Server
 	slo   float64
+	mode  metrics.Mode
 }
 
 // NewServer builds an FCFS server for the given deployment configuration.
@@ -120,11 +128,15 @@ func NewServerWith(sc ServeConfig) (*Server, error) {
 	if sc.MaxInFlight > 0 {
 		pol = sched.AdmissionLimit{Inner: pol, MaxInFlight: sc.MaxInFlight}
 	}
+	mode, err := metrics.ParseMode(string(sc.Metrics))
+	if err != nil {
+		return nil, fmt.Errorf("fasttts: %w", err)
+	}
 	srv, err := core.NewServerWithPolicy(cc, pol)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{inner: srv, slo: sc.SLOLatency}, nil
+	return &Server{inner: srv, slo: sc.SLOLatency, mode: mode}, nil
 }
 
 // Run serves an open-loop request stream and returns per-request results
@@ -163,7 +175,7 @@ func (s *Server) RunClosedLoop(probs []*Problem, concurrency int, think float64)
 }
 
 // Stats reduces served results to server-level aggregates, applying the
-// configured SLOLatency.
+// configured SLOLatency and metrics mode.
 func (s *Server) Stats(served []ServedResult) ServeStats {
 	samples := make([]metrics.ServeSample, len(served))
 	for i, sv := range served {
@@ -171,6 +183,9 @@ func (s *Server) Stats(served []ServedResult) ServeStats {
 			Arrival: sv.ArrivalTime, Start: sv.StartTime, Finish: sv.FinishTime,
 			Tokens: sv.UsefulTokens, Rejected: sv.Rejected,
 		}
+	}
+	if s.mode == metrics.ModeStreaming {
+		return wrapServeStats(metrics.SummarizeServeStreaming(samples, s.slo))
 	}
 	return wrapServeStats(metrics.SummarizeServe(samples, s.slo))
 }
@@ -186,6 +201,7 @@ func wrapServeStats(m metrics.ServeStats) ServeStats {
 		P50Latency:  m.P50Latency, P95Latency: m.P95Latency, P99Latency: m.P99Latency,
 		Goodput:       m.Goodput,
 		SLOAttainment: m.SLOAttainment,
+		NonFinite:     m.NonFinite,
 	}
 }
 
