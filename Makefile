@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench cover scenarios bench-regress bench-perf bench-cache bench-metrics golden
+.PHONY: all build test lint bench cover scenarios bench-regress bench-perf bench-cache bench-metrics bench-strategy golden
 
 all: build lint test
 
@@ -79,6 +79,17 @@ bench-perf:
 # match the committed BENCH_cache.json up to elapsed_ms timings.
 bench-cache:
 	$(GO) run ./cmd/fastttsbench -cache -out .
+
+# Test-time-compute strategy sweep: serve the first-finish-mix and
+# hedged-tail streams under each strategy override on the identical
+# trace and emit BENCH_strategy.json. Exits nonzero unless both success
+# metrics hold: first-finish strictly beats full-beam on p99 on
+# first-finish-mix (accuracy recorded under the same majority-vote
+# accounting), and hedged strictly beats full-beam on p99 on
+# hedged-tail. The run is deterministic, so the emitted cells match the
+# committed BENCH_strategy.json up to elapsed_ms timings.
+bench-strategy:
+	$(GO) run ./cmd/fastttsbench -strategy -out .
 
 # Streaming-metrics sweep: feed every synthetic metrics stream —
 # including the 10M-request mega-steady stream, run with no trace

@@ -9,6 +9,7 @@ import (
 	"fasttts/internal/core"
 	"fasttts/internal/metrics"
 	"fasttts/internal/sched"
+	"fasttts/internal/search"
 )
 
 // DeviceSpec describes one member (or a homogeneous group of members) of
@@ -92,8 +93,19 @@ type ClusterConfig struct {
 	Seed uint64
 	// SLOLatency is the per-request wall-latency target in seconds used
 	// by FleetRun.Stats and the controller's SLO-attainment signal; 0
-	// disables SLO accounting.
+	// disables SLO accounting. The "deadline" strategy also derives each
+	// request's deadline from this target.
 	SLOLatency float64
+	// Strategy names the fleet-wide test-time-compute strategy:
+	// "full-beam", "first-finish" (optionally "first-finish:k"),
+	// "deadline" (early-terminate requests whose SLOLatency-derived
+	// deadline passes mid-solve), or "hedged" (replicate every fresh
+	// arrival to a second device and cancel the losing copy the instant
+	// the first completes; needs at least 2 devices). Empty disables
+	// strategies — runs are then bit-identical to pre-strategy builds.
+	// The budget governor degrades the strategy to first-finish while its
+	// tier is above 0, alongside the width degradation.
+	Strategy string
 	// Autoscale, when non-nil, attaches the elastic control plane.
 	Autoscale *AutoscaleConfig
 	// Parallelism selects the fleet execution engine: 0 or 1 runs the
@@ -244,16 +256,17 @@ type FleetStats struct {
 // of devices — scheduling overhead grows with events·log(devices), not
 // events·devices.
 type Cluster struct {
-	devices []cluster.Device
-	names   []string
-	warm    []cluster.Device
-	warmN   []string
-	auto    *AutoscaleConfig
-	router  string
-	seed    uint64
-	slo     float64
-	shards  int
-	mode    metrics.Mode
+	devices  []cluster.Device
+	names    []string
+	warm     []cluster.Device
+	warmN    []string
+	auto     *AutoscaleConfig
+	router   string
+	seed     uint64
+	slo      float64
+	shards   int
+	mode     metrics.Mode
+	strategy search.Strategy
 }
 
 // FleetRun is the outcome of one Cluster.Run.
@@ -377,7 +390,11 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fasttts: %w", err)
 	}
-	c := &Cluster{devices: devices, names: names, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency, shards: cc.Parallelism, mode: mode}
+	strat, err := search.ParseStrategy(cc.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("fasttts: %w", err)
+	}
+	c := &Cluster{devices: devices, names: names, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency, shards: cc.Parallelism, mode: mode, strategy: strat}
 	if cc.Autoscale != nil {
 		auto := *cc.Autoscale
 		if _, err := control.ByName(auto.Policy); err != nil {
@@ -406,7 +423,7 @@ func (c *Cluster) newFleet() (*cluster.Fleet, error) {
 	}
 	cfg := cluster.Config{
 		Devices: c.devices, Router: router, Seed: c.seed, Shards: c.shards,
-		Metrics: c.mode, SLOLatency: c.slo,
+		Metrics: c.mode, SLOLatency: c.slo, Strategy: c.strategy,
 	}
 	if c.auto != nil {
 		ctl, err := control.ByName(c.auto.Policy)

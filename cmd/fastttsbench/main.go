@@ -44,6 +44,7 @@ func main() {
 		golden    = flag.String("golden", "", "golden-trace directory to check scenario runs against (e.g. testdata/golden)")
 		requests  = flag.Int("requests", 0, "scenario stream length (0 = scenario default)")
 		cache     = flag.Bool("cache", false, "run the KV memory-plane cache sweep (router x capacity matrix) instead of figures")
+		strategyF = flag.Bool("strategy", false, "run the test-time-compute strategy sweep (scenario x strategy matrix) instead of figures")
 		metricsF  = flag.Bool("metrics", false, "run the streaming-metrics sketch-vs-exact sweep (synthetic streams + scenario catalog) instead of figures")
 
 		perf         = flag.Bool("perf", false, "run the fleet-core perf sweep instead of figures")
@@ -131,6 +132,18 @@ func main() {
 			}
 		}
 		if err := runCacheSweep(*out, *requests, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *strategyF {
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := runStrategySweep(*out, *requests, *seed); err != nil {
 			fatal(err)
 		}
 		return

@@ -18,6 +18,9 @@
 //	    -router prefix -compare rr,p2c -slow 1:4 -fail 3:200
 //	fastttsserve -n 48 -devices "RTX 4090,RTX 4070 Ti" -router least-work \
 //	    -controller threshold -warm "RTX 4090,RTX 4090" -control-interval 20 -slo 120
+//	fastttsserve -n 24 -strategy first-finish
+//	fastttsserve -n 24 -devices "RTX 4090,RTX 4090,RTX 3070 Ti" \
+//	    -strategy hedged -slow 2:4
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 		n           = flag.Int("n", 16, "number of requests")
 		seed        = flag.Uint64("seed", 42, "random seed (deployment and arrivals)")
 		policy      = flag.String("policy", "fcfs", "serve policy: fcfs, sjf, priority, deadline")
+		strategy    = flag.String("strategy", "", "test-time-compute strategy: full-beam, first-finish[:k], deadline, hedged (empty = full beam; hedged needs -devices with >= 2 GPUs)")
 		compare     = flag.String("compare", "", "comma-separated extra policies (or, with -devices, routers) to run on the same trace")
 		rate        = flag.Float64("rate", 0.5, "open-loop Poisson arrival rate, requests/s")
 		closed      = flag.Bool("closed", false, "closed-loop (fixed-concurrency) instead of open-loop")
@@ -99,6 +103,7 @@ func main() {
 			NumBeams:     *beams,
 			Mode:         fasttts.Mode(*mode),
 			Seed:         seed,
+			Strategy:     *strategy,
 			KVPlane:      *kvPlane,
 			KVPlaneBytes: *kvPlaneB,
 		}
@@ -110,7 +115,7 @@ func main() {
 		}
 		runFleet(fleetArgs{
 			gpus: splitList(*devices), router: *router, compare: splitList(*compare),
-			policy: *policy, maxInFlight: *maxInFlight,
+			policy: *policy, strategy: *strategy, maxInFlight: *maxInFlight,
 			fail: *fail, slow: *slow,
 			controller: *controller, warm: splitList(*warm),
 			ctlInterval: *ctlInterval, warmup: *warmup,
@@ -194,6 +199,7 @@ type fleetArgs struct {
 	router      string
 	compare     []string
 	policy      string
+	strategy    string
 	maxInFlight int
 	fail, slow  string
 	controller  string
@@ -235,6 +241,10 @@ func runFleet(a fleetArgs) {
 	for i, g := range a.gpus {
 		cfg := a.base(a.seed + uint64(i))
 		cfg.GPU = g
+		// Fleet mode drives the strategy through the cluster-level knob so
+		// hedging can replicate across devices; the per-device field stays
+		// clear.
+		cfg.Strategy = ""
 		specs[i] = fasttts.DeviceSpec{
 			Config:      cfg,
 			Policy:      a.policy,
@@ -249,6 +259,7 @@ func runFleet(a fleetArgs) {
 		for i, g := range a.warm {
 			cfg := a.base(a.seed + uint64(100+i))
 			cfg.GPU = g
+			cfg.Strategy = ""
 			pool[i] = fasttts.DeviceSpec{Config: cfg, Policy: a.policy, MaxInFlight: a.maxInFlight}
 		}
 		auto = &fasttts.AutoscaleConfig{
@@ -270,6 +281,7 @@ func runFleet(a fleetArgs) {
 			Router:     rt,
 			Seed:       a.seed,
 			SLOLatency: a.slo,
+			Strategy:   a.strategy,
 			Autoscale:  auto,
 			Metrics:    a.metrics,
 		})
@@ -295,6 +307,9 @@ func runFleet(a fleetArgs) {
 		if a.controller != "" {
 			fmt.Printf("  controller: %s, interval %.0fs, warm pool [%s], warm-up %.0fs\n",
 				a.controller, a.ctlInterval, strings.Join(a.warm, ", "), a.warmup)
+		}
+		if a.strategy != "" {
+			fmt.Printf("  strategy: %s\n", a.strategy)
 		}
 		fmt.Printf("  metrics: %s\n", describeMetrics(a.metrics))
 		fmt.Printf("\n%-10s %9s %7s %7s %7s %9s %9s %9s %9s %6s %6s %6s %8s %8s %6s\n",

@@ -143,6 +143,28 @@
 //	run, _ := cl.Run(fasttts.SinusoidalRequests(probs, 0.22, 1, 240, 11))
 //	fmt.Println(run.Stats().DeviceSeconds, run.Actions)
 //
+// # Test-time-compute strategies
+//
+// Config.Strategy (per device), ClusterConfig.Strategy (fleet-wide),
+// and ScenarioOptions.Strategy (scenario override) select how much of
+// each request's search to run — a pluggable policy (internal/search)
+// named like serve policies and routers: "full-beam" (run to
+// completion, the default), "first-finish[:k]" (stop once k reasoning
+// paths finish; latency-first search), "deadline" (cut the search at
+// the request's SLO deadline and answer from the finished paths), or
+// "hedged" (replicate each request on a second device; the first
+// completion wins and the loser is cancelled fleet-wide). Cancellation
+// is a deterministic first-class fleet event with its own slot in the
+// event-ordering contract (join < fail < cancel < tick < arrival), so
+// hedge losers free capacity before the same instant's control tick and
+// arrivals observe the fleet; fail-stop composes by withdrawing dead
+// copies and requeueing the last live one. The compute-budget governor
+// degrades strategies to first-finish under storm tiers and restores
+// them when load clears. Strategies are off by default — an empty
+// Strategy reproduces prior traces bit-identically on both execution
+// engines (see README "Test-time-compute strategies" and
+// `make bench-strategy` for the measured latency/accuracy trade).
+//
 // # Streaming metrics
 //
 // ServeConfig.Metrics and ClusterConfig.Metrics select how Stats
@@ -166,8 +188,9 @@
 // (internal/scenario) — steady, diurnal (sinusoidal-rate arrivals),
 // flash-crowd, heavy-tail, tenant-mix, fleet-churn (staggered fail-stop
 // plus stragglers), burst-storm, the controller-driven
-// autoscale-diurnal, flash-absorb, and budget-storm, and the KV
-// memory-plane cache-thrash and shared-prefix-storm — on either the
+// autoscale-diurnal, flash-absorb, and budget-storm, the KV
+// memory-plane cache-thrash and shared-prefix-storm, and the
+// test-time-compute-strategy first-finish-mix and hedged-tail — on either the
 // single-server or the cluster target. Every scenario builds a deterministic request stream,
 // so a run is bit-identically reproducible; ScenarioRun.TraceJSONL
 // renders it as a canonical record/replay trace (internal/trace), and
@@ -286,6 +309,15 @@ type Config struct {
 	// capacity auto-sizes to the device's KV budget (VRAM × MemoryFraction
 	// minus weights and reservation). Negative values are rejected.
 	KVPlaneBytes int64
+	// Strategy names the test-time-compute strategy the solver honors:
+	// "full-beam" (explicit legacy semantics), "first-finish" (return on
+	// the first completed chain; an optional ":k" launches only k chains),
+	// "deadline" (early-terminate a request whose deadline passes
+	// mid-solve), or "hedged" (fleet-level: replicate each request to a
+	// second device and cancel the loser — a per-device no-op here).
+	// Empty disables strategies; behavior is then bit-identical to
+	// pre-strategy builds.
+	Strategy string
 	// Seed drives all randomness; equal seeds give bit-identical runs.
 	Seed uint64
 	// Recorder, when set, captures per-kernel utilization samples.
@@ -379,6 +411,10 @@ func buildCoreConfig(c Config) (core.Config, error) {
 		opts = core.FastTTSOptions()
 	}
 	opts.AllowOffload = c.AllowOffload
+	strat, err := search.ParseStrategy(c.Strategy)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("fasttts: %w", err)
+	}
 	cc := core.Config{
 		GPU:              gpu,
 		Generator:        gen,
@@ -388,6 +424,7 @@ func buildCoreConfig(c Config) (core.Config, error) {
 		MemoryFraction:   c.MemoryFraction,
 		KVBudgetOverride: c.KVBudgetBytes,
 		Policy:           pol,
+		Strategy:         strat,
 		Opts:             opts,
 		Recorder:         c.Recorder,
 		Seed:             c.Seed,

@@ -46,6 +46,7 @@ import (
 	"fasttts/internal/metrics"
 	"fasttts/internal/rng"
 	"fasttts/internal/sched"
+	"fasttts/internal/search"
 	"fasttts/internal/workload"
 )
 
@@ -98,8 +99,17 @@ type Config struct {
 	// aggregation judges attainment at completion time because samples
 	// are not retained, so Outcome.Stats must later be called with the
 	// same target; exact mode ignores this field and uses the Stats
-	// argument.
+	// argument. The deadline strategy also derives per-request deadlines
+	// from this target.
 	SLOLatency float64
+	// Strategy is the fleet-wide test-time-compute strategy
+	// (search.ParseStrategy): full-beam and first-finish shape each
+	// device's solver, deadline early-terminates requests whose SLO is
+	// blown mid-solve, and hedged replicates every fresh arrival to a
+	// second device and cancels the loser the instant the first copy
+	// completes. nil (the default) disables strategies — behavior is
+	// bit-identical to pre-strategy builds.
+	Strategy search.Strategy
 }
 
 // Result is one fleet-served request: the device-level telemetry plus
@@ -199,6 +209,10 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Router == nil {
 		cfg.Router = &RoundRobin{}
 	}
+	if cfg.Strategy != nil && cfg.Strategy.Hedged() && len(cfg.Devices) < 2 {
+		return nil, fmt.Errorf("cluster: hedged strategy needs at least 2 devices to replicate across, got %d",
+			len(cfg.Devices))
+	}
 	srvs := make([]*core.Server, len(cfg.Devices))
 	for i, d := range cfg.Devices {
 		srv, err := core.NewServerWithPolicy(d.Config, d.Policy)
@@ -296,20 +310,39 @@ type run struct {
 	sh  *shardSet          // sharded engine's state; nil when sequential
 	acc metrics.FleetAccum // prefix hit/miss counters, folded into out by finish
 
+	// Hedging state (nil / empty unless the fleet strategy hedges):
+	// hedges maps an original request tag to its pair state, cancels is
+	// the pending-cancellation queue consumed FIFO through cp.
+	hedges  map[int]*hedgePair
+	cancels []cancelEvent
+	cp      int
+
 	el *elastic // nil without a controller
 }
 
-// Event kinds at one instant resolve in a fixed priority: a join makes
-// the device routable before anything else sees the fleet, failures beat
-// arrivals (a request landing exactly at the fail time routes to the
-// survivors), and control ticks observe and actuate before the arrivals
-// of the same instant are routed.
-const (
-	evJoin = iota
-	evFail
-	evTick
-	evArrival
-)
+// hedgePair tracks one hedged request's two copies. dev holds the fleet
+// index of the device serving each slot (0 = primary, 1 = twin), -1 once
+// that copy is resolved — finished, rejected, cancelled, or withdrawn by
+// a fail-stop. done flips when a copy produces the request's outcome.
+type hedgePair struct {
+	dev  [2]int
+	done bool
+}
+
+// hedging reports whether this run replicates fresh arrivals.
+func (r *run) hedging() bool {
+	return r.f.cfg.Strategy != nil && r.f.cfg.Strategy.Hedged()
+}
+
+// hedgeOrig resolves a (possibly twin) tag to its original client tag
+// and pair slot. Twin copies run under the bit-complement tag ^tag —
+// negative, reversible, and disjoint from the non-negative client space.
+func hedgeOrig(tag int) (orig, slot int) {
+	if tag < 0 {
+		return ^tag, 1
+	}
+	return tag, 0
+}
 
 func (f *Fleet) newRun(reqs []core.Request) (*run, error) {
 	devs := make([]*device, len(f.cfg.Devices))
@@ -323,6 +356,11 @@ func (f *Fleet) newRun(reqs []core.Request) (*run, error) {
 		if _, dup := origArrival[rq.Tag]; dup {
 			return nil, fmt.Errorf(
 				"cluster: duplicate request tag %d: tags identify requests across failure requeues and must be unique (tag by stream index)",
+				rq.Tag)
+		}
+		if rq.Tag < 0 && f.cfg.Strategy != nil && f.cfg.Strategy.Hedged() {
+			return nil, fmt.Errorf(
+				"cluster: hedged strategy reserves negative tags for twin copies; request tag %d must be >= 0",
 				rq.Tag)
 		}
 		stream[i] = pendingReq{req: rq, seq: i}
@@ -354,6 +392,9 @@ func (f *Fleet) newRun(reqs []core.Request) (*run, error) {
 		r.posInVs[i] = i
 	}
 	r.wake = newWakeHeap(len(devs))
+	if r.hedging() {
+		r.hedges = make(map[int]*hedgePair)
+	}
 	if f.cfg.Control != nil {
 		r.el = newElastic(f, len(devs))
 	}
@@ -534,19 +575,7 @@ func (r *run) collect(horizon float64) error {
 			return fmt.Errorf("cluster: device %d: %w", i, err)
 		}
 		for _, sv := range served {
-			d.settlePrefix(sv, &r.acc)
-			res := r.buildResult(sv, i)
-			r.out.Results = append(r.out.Results, res)
-			if r.acc.Streaming() {
-				r.acc.AddSample(0, serveSample(res))
-			}
-			if !sv.Rejected {
-				d.served++
-				d.tokens += sv.UsefulTokens
-			}
-			if r.el != nil {
-				r.el.observe(sv, d)
-			}
+			r.deliver(i, sv)
 		}
 		if d.draining && !d.drained && d.loop.Idle() {
 			// All accepted work served: the drain completes and the device
@@ -560,8 +589,127 @@ func (r *run) collect(horizon float64) error {
 	return nil
 }
 
+// deliver settles and publishes one device completion. Under a hedged
+// strategy the result first passes the hedge filter: the first copy to
+// complete wins the request (scheduling a cancellation for its twin),
+// later copies are swallowed. Losers still settle their deferred prefix
+// accounting — the device work was real — but never count as served.
+// Both engines call deliver in the canonical completion-merge order, so
+// hedge resolution is bit-identical across engines and shard counts.
+func (r *run) deliver(dev int, sv core.ServedResult) {
+	d := r.devs[dev]
+	d.settlePrefix(sv, &r.acc)
+	if r.hedging() {
+		out, ok := r.filterHedge(sv)
+		if !ok {
+			return
+		}
+		sv = out
+	}
+	res := r.buildResult(sv, dev)
+	r.out.Results = append(r.out.Results, res)
+	if r.acc.Streaming() {
+		r.acc.AddSample(0, serveSample(res))
+	}
+	if !sv.Rejected {
+		d.served++
+		d.tokens += sv.UsefulTokens
+	}
+	if r.el != nil {
+		r.el.observe(sv, d)
+	}
+}
+
+// filterHedge resolves one completion against the hedge state. The
+// returned result carries the original client tag; ok=false swallows
+// the completion (a losing or redundant copy). The first completion
+// wins; a rejection only resolves the request once both copies are
+// lost, so one device shedding a copy never rejects a request its twin
+// can still serve.
+func (r *run) filterHedge(sv core.ServedResult) (core.ServedResult, bool) {
+	orig, slot := hedgeOrig(sv.Tag)
+	pair, ok := r.hedges[orig]
+	if !ok {
+		// Never replicated: a requeued request, or one routed while the
+		// fleet had a single survivor. Passes through untouched.
+		return sv, true
+	}
+	if sv.Rejected {
+		pair.dev[slot] = -1
+		if pair.done || pair.dev[1-slot] >= 0 {
+			return sv, false // the other copy answered, or still may
+		}
+		pair.done = true
+		sv.Tag = orig
+		return sv, true
+	}
+	if pair.done {
+		// The twin already answered; this copy ran to completion before
+		// its cancellation landed (cancels apply at event granularity).
+		pair.dev[slot] = -1
+		return sv, false
+	}
+	pair.done = true
+	pair.dev[slot] = -1
+	if od := pair.dev[1-slot]; od >= 0 {
+		pair.dev[1-slot] = -1
+		loserTag := orig
+		if slot == 0 {
+			loserTag = ^orig
+		}
+		r.cancels = append(r.cancels, cancelEvent{at: sv.Finish, dev: od, tag: loserTag})
+	}
+	sv.Tag = orig
+	return sv, true
+}
+
+// cancelAt is the time of the next pending cancellation (meaningful
+// only while cp is in range).
+func (r *run) cancelAt() float64 {
+	if r.cp < len(r.cancels) {
+		return r.cancels[r.cp].at
+	}
+	return 0
+}
+
+// applyCancel releases a hedge loser: the device's loop drops the
+// tagged work — queued or mid-flight, along with its session, in-flight
+// slot, load-index contribution, and memory-plane decode state — the
+// deferred prefix accounting is unwound (a cancelled copy never counts
+// as served), and the freed capacity becomes visible to the router and
+// controller immediately.
+func (r *run) applyCancel(ce cancelEvent) {
+	d := r.devs[ce.dev]
+	if !d.alive {
+		return // the fail-stop already withdrew the work
+	}
+	started, ok := d.loop.Cancel(ce.tag)
+	if !ok {
+		return // the copy already completed (and was swallowed)
+	}
+	if a, found := d.acct[ce.tag]; found {
+		delete(d.acct, ce.tag)
+		if d.marker[a.key] == ce.tag {
+			if started {
+				delete(d.marker, a.key) // prefill happened: residency confirmed
+			} else {
+				delete(d.prefixes, a.key) // never prefilled: refund the mark
+				delete(d.marker, a.key)
+			}
+		}
+	}
+	if d.draining && !d.drained && d.loop.Idle() {
+		d.drained = true
+		d.drainEnd = math.Max(d.drainAt, d.loop.Now())
+	}
+	r.updateWake(ce.dev)
+	r.refreshView(ce.dev)
+}
+
 // failDevice applies one fail-stop: the device leaves the routable set
-// and its unfinished requests requeue to the survivors.
+// and its unfinished requests requeue to the survivors. Withdrawn
+// hedge copies requeue only when they were the last copy standing of an
+// unanswered request — and then exactly once, under the original tag.
 func (r *run) failDevice(ft float64, fi int) {
 	d := r.devs[fi]
 	d.alive = false
@@ -569,12 +717,39 @@ func (r *run) failDevice(ft float64, fi int) {
 	r.wakeRemove(fi)
 	r.dropView(fi)
 	for _, rq := range d.loop.Fail() {
+		if r.hedging() {
+			orig, slot := hedgeOrig(rq.Tag)
+			if r.dropHedgedCopy(orig, slot) {
+				continue
+			}
+			rq.Tag = orig
+		}
 		rq.Arrival = ft
 		r.requeues[rq.Tag]++
 		r.out.Requeues++
 		heap.Push(&r.requeued, pendingReq{req: rq, requeues: r.requeues[rq.Tag], seq: r.nextSeq})
 		r.nextSeq++
 	}
+}
+
+// dropHedgedCopy records that a fail-stop withdrew one copy of a hedged
+// request. It reports true when the copy is simply dropped — the
+// request was already answered, or its twin is still serving — and
+// false when the withdrawn copy was the last one standing of an
+// unanswered request, which must then requeue under its original tag.
+// In the requeue case the pair is retired so the requeued run passes
+// the hedge filter untouched.
+func (r *run) dropHedgedCopy(orig, slot int) bool {
+	pair, ok := r.hedges[orig]
+	if !ok {
+		return false // never hedged (e.g. already a requeue): requeue normally
+	}
+	pair.dev[slot] = -1
+	if pair.done || pair.dev[1-slot] >= 0 {
+		return true
+	}
+	delete(r.hedges, orig)
+	return false
 }
 
 // routeArrival routes one pending request at its arrival instant.
@@ -615,25 +790,75 @@ func (r *run) routeArrival(pr pendingReq) error {
 			r.f.cfg.Router.Name(), pick, len(r.vs))
 	}
 	di := r.vs[pick].Index
-	d := r.devs[di]
+	r.applyStrategy(&pr.req, di)
+	r.pushTo(di, pr.req, rv.PrefixKey)
+	if r.hedging() && pr.requeues == 0 && len(r.vs) >= 2 {
+		return r.routeTwin(pr.req, rv, pick)
+	}
+	return nil
+}
+
+// applyStrategy stamps the request's effective strategy at routing: the
+// fleet strategy, re-derived on every routing (requeues included) so a
+// budget-governor degradation is never sticky across a fail-stop
+// migration, then handed to the governor, which may degrade both the
+// width and the strategy at its current tier. The deadline strategy
+// derives the request's deadline from the fleet SLO, measured from the
+// original submission so a requeued request's deadline does not reset.
+// Shared verbatim by the sequential route path and the sharded span
+// pre-route so both engines stamp identical requests.
+func (r *run) applyStrategy(rq *core.Request, di int) {
+	if st := r.f.cfg.Strategy; st != nil {
+		rq.Strategy = st
+	}
 	if r.el != nil {
-		r.el.budget(&pr.req, d)
+		r.el.budget(rq, r.devs[di])
 	}
-	// Mark the directory optimistically (concurrent repeats of this
-	// prompt should route as hits) but defer the counters until the
-	// device actually serves the request.
-	resident := d.prefixes[rv.PrefixKey]
+	if st := rq.Strategy; st != nil && st.CutAtDeadline() && rq.Deadline == 0 && r.f.cfg.SLOLatency > 0 {
+		rq.Deadline = r.origArrival[rq.Tag] + r.f.cfg.SLOLatency
+	}
+}
+
+// pushTo marks the device's prefix directory optimistically (concurrent
+// repeats of this prompt should route as hits), defers the hit/miss
+// counters until the device actually serves the request, and hands the
+// request to the device's loop.
+func (r *run) pushTo(di int, rq core.Request, key string) {
+	d := r.devs[di]
+	resident := d.prefixes[key]
 	if !resident {
-		d.prefixes[rv.PrefixKey] = true
-		d.marker[rv.PrefixKey] = pr.req.Tag
+		d.prefixes[key] = true
+		d.marker[key] = rq.Tag
 	}
-	d.acct[pr.req.Tag] = prefixAcct{
-		key:    rv.PrefixKey,
-		tokens: int64(pr.req.Problem.PromptTokens), hit: resident,
+	d.acct[rq.Tag] = prefixAcct{
+		key:    key,
+		tokens: int64(rq.Problem.PromptTokens), hit: resident,
 	}
-	d.loop.Push(pr.req)
+	d.loop.Push(rq)
 	r.updateWake(di)
 	r.refreshView(di)
+}
+
+// routeTwin replicates a hedged request to a second device: the router
+// picks again over the alive view with the primary excluded, and the
+// copy runs under the bit-complement twin tag. The twin inherits the
+// primary's budgeted width, strategy, and deadline, so the two copies
+// run the identical solve and only placement differs.
+func (r *run) routeTwin(rq core.Request, rv RequestView, primaryPick int) error {
+	twinVs := make([]DeviceView, 0, len(r.vs)-1)
+	twinVs = append(twinVs, r.vs[:primaryPick]...)
+	twinVs = append(twinVs, r.vs[primaryPick+1:]...)
+	orig := rq.Tag
+	rq.Tag = ^orig
+	rv.Tag = rq.Tag
+	pick := r.f.cfg.Router.Route(rv, twinVs, r.routeRand)
+	if pick < 0 || pick >= len(twinVs) {
+		return fmt.Errorf("cluster: router %s picked %d of %d alive devices",
+			r.f.cfg.Router.Name(), pick, len(twinVs))
+	}
+	ti := twinVs[pick].Index
+	r.hedges[orig] = &hedgePair{dev: [2]int{r.vs[primaryPick].Index, ti}}
+	r.pushTo(ti, rq, rv.PrefixKey)
 	return nil
 }
 
@@ -687,6 +912,7 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 			consider(r.el.nextTickEvent(r, haveArrival))
 		}
 		consider(r.failAt(), evFail, r.fp < len(r.fails))
+		consider(r.cancelAt(), evCancel, r.cp < len(r.cancels))
 		consider(head.req.Arrival, evArrival, haveArrival)
 		if bestKind < 0 {
 			break
@@ -701,6 +927,9 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 			ft, fi := r.fails[r.fp].at, r.fails[r.fp].dev
 			r.fp++
 			r.failDevice(ft, fi)
+		case evCancel:
+			r.applyCancel(r.cancels[r.cp])
+			r.cp++
 		case evTick:
 			r.el.tick(r, bestAt)
 		case evArrival:
@@ -711,11 +940,58 @@ func (f *Fleet) Run(reqs []core.Request) (*Outcome, error) {
 	}
 
 	// No more global events: run every surviving device to completion.
-	if err := r.collect(core.NoHorizon); err != nil {
+	if err := r.drain(); err != nil {
 		return nil, err
 	}
 	r.finish()
 	return r.out, nil
+}
+
+// drain runs every surviving device to completion after the last global
+// event. Without hedging a single unbounded collect suffices; with
+// hedging the tail advances one wake at a time, applying the pending
+// cancellations between steps, so a winner completing in the drain
+// still releases its loser at slice granularity instead of letting it
+// run to the end.
+func (r *run) drain() error {
+	if !r.hedging() {
+		if r.sh != nil {
+			return r.sh.collect(r, core.NoHorizon)
+		}
+		return r.collect(core.NoHorizon)
+	}
+	for {
+		for r.cp < len(r.cancels) {
+			r.applyCancel(r.cancels[r.cp])
+			r.cp++
+		}
+		at, ok := r.nextWake()
+		if !ok {
+			return nil
+		}
+		// A busy loop's wake time is its current clock, and StepTo is a
+		// no-op at a horizon equal to the clock — nudge the horizon one
+		// ulp past the earliest wake so every round advances at least one
+		// atomic slice (the slice in progress finishes past the horizon
+		// by the StepTo contract).
+		horizon := math.Nextafter(at, math.Inf(1))
+		if r.sh != nil {
+			if err := r.sh.collect(r, horizon); err != nil {
+				return err
+			}
+		} else if err := r.collect(horizon); err != nil {
+			return err
+		}
+	}
+}
+
+// nextWake is the earliest pending device wake across whichever wake
+// index drives this run.
+func (r *run) nextWake() (float64, bool) {
+	if r.sh != nil {
+		return r.sh.wakeMin()
+	}
+	return r.wake.min()
 }
 
 // shards resolves Config.Shards: <0 means one shard per available core,

@@ -178,8 +178,12 @@ func (el *elastic) observe(sv core.ServedResult, d *device) {
 
 // budget applies the current compute-budget tier to a request being
 // routed to device d: tier k halves the device's configured search
-// width k times. Tier 0 restores the full budget (also for requeued
-// requests that were degraded on their first routing).
+// width k times, and — when the fleet runs a test-time-compute strategy
+// — degrades the request's strategy to first-finish, the governor's
+// third vertical knob beside width and fleet size. Tier 0 restores the
+// full budget (also for requeued requests that were degraded on their
+// first routing; the route path re-stamps the fleet strategy before
+// calling budget, so strategy degradation is likewise not sticky).
 func (el *elastic) budget(rq *core.Request, d *device) {
 	el.win.Arrivals++
 	if el.tier <= 0 {
@@ -187,6 +191,9 @@ func (el *elastic) budget(rq *core.Request, d *device) {
 		return
 	}
 	rq.Width = search.DegradedWidth(d.spec.Config.Policy.Width(), el.tier)
+	if ds := search.DegradedStrategy(rq.Strategy, el.tier); ds != nil {
+		rq.Strategy = ds
+	}
 }
 
 // routableStats counts the fleet populations the controller observes.

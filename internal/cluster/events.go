@@ -1,15 +1,46 @@
 package cluster
 
-// Event plumbing of the fleet core: a stable min-heap of pending
-// arrivals, a pre-sorted fail-stop schedule, and an indexed min-heap of
-// device wake times. Together they let the fleet loop touch only the
-// devices an event concerns — O(log n) dispatch per event — instead of
-// re-scanning and re-stepping all n devices per event.
+// Event plumbing of the fleet core: the global event-kind ordering, a
+// stable min-heap of pending arrivals, a pre-sorted fail-stop schedule,
+// the hedge-cancellation queue, and an indexed min-heap of device wake
+// times. Together they let the fleet loop touch only the devices an
+// event concerns — O(log n) dispatch per event — instead of re-scanning
+// and re-stepping all n devices per event.
 
 import (
 	"container/heap"
 	"sort"
 )
+
+// Event kinds at one instant resolve in a fixed priority — the shared
+// ordering contract of both execution engines:
+//
+//	join < fail < cancel < tick < arrival
+//
+// A join makes the device routable before anything else sees the fleet;
+// failures beat cancellations (cancelling work on a failed device is a
+// no-op — the fail-stop already withdrew it); hedge cancellations free
+// capacity before control ticks observe load and before same-instant
+// arrivals route; and control ticks observe and actuate before the
+// arrivals of the same instant are routed.
+const (
+	evJoin = iota
+	evFail
+	evCancel
+	evTick
+	evArrival
+)
+
+// cancelEvent is one scheduled fleet-level cancellation: at the instant
+// a hedged request's first copy completed, the losing copy (tag) on dev
+// is released. Cancels are consumed in insertion order — the canonical
+// completion-merge order shared by both engines — so equal seeds give
+// bit-identical cancellation sequences.
+type cancelEvent struct {
+	at  float64
+	dev int
+	tag int
+}
 
 // arrivalHeap orders pending requests by arrival time, breaking ties by
 // insertion sequence so equal-time arrivals pop in insertion order —
@@ -129,6 +160,14 @@ func (w *wakeHeap) remove(dev int) {
 	if p := w.pos[dev]; p >= 0 {
 		heap.Remove(w, p)
 	}
+}
+
+// min returns the earliest wake time in the heap.
+func (w *wakeHeap) min() (float64, bool) {
+	if len(w.items) == 0 {
+		return 0, false
+	}
+	return w.items[0].at, true
 }
 
 // popDue appends to buf the indices of every device whose wake time is

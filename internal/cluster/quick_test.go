@@ -12,6 +12,7 @@ import (
 	"fasttts/internal/core"
 	"fasttts/internal/hw"
 	"fasttts/internal/rng"
+	"fasttts/internal/search"
 	"fasttts/internal/workload"
 )
 
@@ -136,6 +137,110 @@ func TestEveryRouterPreservesRequestMultiset(t *testing.T) {
 		for i := range reqs {
 			if seen[i] != 1 {
 				t.Logf("router %s: request %d reported %d times", router.Name(), i, seen[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, qc(t, 60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// hedgedCase extends fleetCase with the picks the hedged strategy
+// needs: a GPU for the extra device that guarantees the >= 2-device
+// replication floor, and whether the quiet-by-construction stream gets
+// compressed arrivals (more in-flight overlap, more live cancels).
+type hedgedCase struct {
+	Fleet    fleetCase
+	Extra    int  // GPU pick for the replication-floor device
+	Compress bool // halve arrival gaps to force overlapping twins
+}
+
+func (hedgedCase) Generate(r *rand.Rand, size int) reflect.Value {
+	fc := fleetCase{}.Generate(r, size).Interface().(fleetCase)
+	return reflect.ValueOf(hedgedCase{Fleet: fc, Extra: r.Intn(3), Compress: r.Intn(2) == 0})
+}
+
+// TestHedgedCancellationPreservesRequestMultiset extends the
+// conservation law to the hedged strategy: every arrival is replicated
+// to a twin device and the loser is cancelled mid-flight, composed with
+// random stragglers, fail-stops (which requeue or withdraw hedge
+// copies), and every router. The served stream must still carry each
+// submitted tag exactly once, under the original (non-negative) tag,
+// with sane telemetry — no lost winners, duplicated twins, or leaked
+// internal twin tags.
+func TestHedgedCancellationPreservesRequestMultiset(t *testing.T) {
+	gpus := []hw.GPU{hw.RTX4090, hw.RTX4070Ti, hw.RTX3070Ti}
+	ds := workload.NewDataset(workload.MATH500, rng.New(7))
+	prop := func(hc hedgedCase) bool {
+		c := hc.Fleet
+		var devices []Device
+		for i := range c.GPUs {
+			devices = append(devices, Device{
+				Config:   devConfig(t, gpus[c.GPUs[i]], 4, uint64(40+i)),
+				Slowdown: c.Slowdowns[i],
+				FailAt:   c.FailAts[i],
+			})
+		}
+		if len(devices) < 2 {
+			// Hedging validates a >= 2-device fleet; keep the extra device
+			// fault-free so at least one replica target always exists.
+			devices = append(devices, Device{Config: devConfig(t, gpus[hc.Extra], 4, uint64(60))})
+		}
+		reqs := make([]core.Request, len(c.Probs))
+		for i, pi := range c.Probs {
+			at := c.Arrivals[i]
+			if hc.Compress {
+				at /= 2
+			}
+			reqs[i] = core.Request{Problem: ds.Problems[pi], Arrival: at, Tag: i}
+		}
+		router, err := RouterByName(RouterNames()[c.Router])
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		f, err := New(Config{Devices: devices, Router: router, Seed: 3, Strategy: search.Hedged{}})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		out, err := f.Run(reqs)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if len(out.Results) != len(reqs) {
+			t.Logf("router %s: %d results for %d hedged requests", router.Name(), len(out.Results), len(reqs))
+			return false
+		}
+		seen := make(map[int]int)
+		for _, r := range out.Results {
+			seen[r.Tag]++
+			switch {
+			case r.Tag < 0:
+				t.Logf("router %s: internal twin tag %d leaked into the served stream", router.Name(), r.Tag)
+				return false
+			case r.Rejected && r.Result != nil:
+				t.Logf("router %s: rejected request %d carries a Result", router.Name(), r.Tag)
+				return false
+			case !r.Rejected && r.Result == nil:
+				t.Logf("router %s: served request %d missing its Result", router.Name(), r.Tag)
+				return false
+			case !r.Rejected && (r.Start < r.Arrival || r.Finish < r.Start):
+				t.Logf("router %s: request %d times out of order: %v %v %v",
+					router.Name(), r.Tag, r.Arrival, r.Start, r.Finish)
+				return false
+			case !r.Rejected && (r.Device < 0 || r.Device >= len(devices)):
+				t.Logf("router %s: request %d served by device %d of %d",
+					router.Name(), r.Tag, r.Device, len(devices))
+				return false
+			}
+		}
+		for i := range reqs {
+			if seen[i] != 1 {
+				t.Logf("router %s: hedged request %d reported %d times", router.Name(), i, seen[i])
 				return false
 			}
 		}

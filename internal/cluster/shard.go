@@ -77,6 +77,11 @@ type resGroup struct {
 	win     int
 	dev     int
 	results []Result
+	// raw holds the undelivered completions when the run hedges: hedge
+	// resolution (first copy wins, loser cancelled) is order-sensitive,
+	// so the driver's merge feeds them through run.deliver in canonical
+	// order instead of the worker building Results locally.
+	raw []core.ServedResult
 }
 
 // shardOut is one shard worker's output for a span or collect pass.
@@ -145,7 +150,25 @@ func newShardSet(r *run, n int) *shardSet {
 	if vo, ok := r.f.cfg.Router.(ViewOblivious); ok {
 		ss.oblivious = vo.RouteViewOblivious()
 	}
+	if r.hedging() {
+		// Hedge resolution is order-sensitive (the first copy to complete
+		// wins and cancels its cross-shard twin), so every completion must
+		// pass the driver's canonical merge before the next routing
+		// decision: arrival spans collapse to single barrier windows.
+		ss.oblivious = false
+	}
 	return ss
+}
+
+// wakeMin returns the earliest wake time across the shard heaps.
+func (ss *shardSet) wakeMin() (float64, bool) {
+	best, ok := 0.0, false
+	for _, h := range ss.heaps {
+		if at, has := h.min(); has && (!ok || at < best) {
+			best, ok = at, true
+		}
+	}
+	return best, ok
 }
 
 func (ss *shardSet) shardOf(dev int) int { return dev % ss.n }
@@ -182,7 +205,13 @@ func (ss *shardSet) stepDevice(r *run, dev, win int, horizon float64, out *shard
 	if err != nil {
 		return fmt.Errorf("cluster: device %d: %w", dev, err)
 	}
-	if len(served) > 0 {
+	if len(served) > 0 && r.hedging() {
+		// Defer everything to the driver's merge: hedge filtering must see
+		// completions in the canonical cross-shard order.
+		out.groups = append(out.groups, resGroup{
+			win: win, dev: dev, raw: append([]core.ServedResult(nil), served...),
+		})
+	} else if len(served) > 0 {
 		g := resGroup{win: win, dev: dev, results: make([]Result, 0, len(served))}
 		for _, sv := range served {
 			d.settlePrefix(sv, &out.acc)
@@ -280,9 +309,7 @@ func (ss *shardSet) runSpan(r *run, structAt float64, bounded bool) error {
 				router.Name(), pick, len(r.vs))
 		}
 		di := r.vs[pick].Index
-		if r.el != nil {
-			r.el.budget(&pr.req, r.devs[di])
-		}
+		r.applyStrategy(&pr.req, di)
 		if len(ss.pushes[di]) == 0 {
 			touched = append(touched, di)
 		}
@@ -461,6 +488,9 @@ func (ss *shardSet) merge(r *run, shedWin []int, shedRes []Result) error {
 		}
 		g := &ss.outs[bs].groups[ss.heads[bs]]
 		ss.heads[bs]++
+		for _, sv := range g.raw {
+			r.deliver(g.dev, sv)
+		}
 		for _, res := range g.results {
 			r.out.Results = append(r.out.Results, res)
 			if r.el != nil {
@@ -493,6 +523,7 @@ func (f *Fleet) runSharded(r *run) (*Outcome, error) {
 			consider(r.el.nextTickEvent(r, haveArrival))
 		}
 		consider(r.failAt(), evFail, r.fp < len(r.fails))
+		consider(r.cancelAt(), evCancel, r.cp < len(r.cancels))
 		// Arrivals strictly before the next structural event couple shards
 		// only through the router; when the router is view-oblivious the
 		// whole span is safe to pre-route and replay in parallel.
@@ -516,6 +547,9 @@ func (f *Fleet) runSharded(r *run) (*Outcome, error) {
 			ft, fi := r.fails[r.fp].at, r.fails[r.fp].dev
 			r.fp++
 			r.failDevice(ft, fi)
+		case evCancel:
+			r.applyCancel(r.cancels[r.cp])
+			r.cp++
 		case evTick:
 			r.el.tick(r, bestAt)
 		case evArrival:
@@ -525,7 +559,7 @@ func (f *Fleet) runSharded(r *run) (*Outcome, error) {
 		}
 	}
 
-	if err := ss.collect(r, core.NoHorizon); err != nil {
+	if err := r.drain(); err != nil {
 		return nil, err
 	}
 	r.finish()

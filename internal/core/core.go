@@ -103,8 +103,12 @@ type Config struct {
 	// with LRU eviction and roofline re-prefill penalties on prompt
 	// misses. The zero value (capacity 0) disables the plane — behavior
 	// is then bit-identical to builds without it.
-	KVPlane  memplane.Config
-	Policy   search.Policy
+	KVPlane memplane.Config
+	Policy  search.Policy
+	// Strategy is the test-time-compute strategy the solver honors
+	// (first-finish early termination, deadline cuts). nil runs the full
+	// beam — the legacy semantics, bit-identical to pre-strategy builds.
+	Strategy search.Strategy
 	Opts     Options
 	Recorder *trace.Recorder
 	Seed     uint64
@@ -159,6 +163,10 @@ type Result struct {
 	Goodput float64
 
 	Iterations int
+	// Abandoned counts active beams the strategy discarded at early
+	// termination (first-finish satisfaction or a deadline cut); 0 under
+	// full-beam.
+	Abandoned int
 	// TokensDecoded counts all generator decode work, including
 	// speculative tokens; SpecTokens of those were speculative and
 	// SpecRetained were adopted by surviving beams.

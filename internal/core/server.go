@@ -33,6 +33,11 @@ type Request struct {
 	// load; both the admission-time demand estimate
 	// (sched.EstimateDemand) and the solver the request runs on honor it.
 	Width int
+	// Strategy, when non-nil, overrides the deployment's configured
+	// test-time-compute strategy for this request. The elastic control
+	// plane's budget governor sets it per request under load (the third
+	// vertical knob beside Width); nil inherits Config.Strategy.
+	Strategy search.Strategy
 }
 
 // ServedResult augments a solve result with queueing telemetry. Result is
@@ -372,6 +377,44 @@ func (l *Loop) Fail() []Request {
 	return out
 }
 
+// Cancel deterministically withdraws the request with the given tag
+// mid-flight, releasing everything it holds: a queued arrival leaves the
+// queue and its demand leaves the queued-work load index; a live session
+// is dropped like a completion that produces no result — its load-index
+// contribution is released, its memory-plane decode state is finished
+// (the prompt prefix stays resident), and its partial device work stays
+// in Busy as lost work, exactly like fail-stop. The fleet layer uses it
+// to cancel the losing copy of a hedged request. It returns whether the
+// request had started executing and whether it was found at all; a tag
+// that already completed (or was never routed here) is a no-op.
+func (l *Loop) Cancel(tag int) (started, ok bool) {
+	if l.failed {
+		return false, false
+	}
+	for i := l.next; i < len(l.queue); i++ {
+		if l.queue[i].Tag == tag {
+			l.queuedWork -= l.s.estimateWork(l.queue[i])
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			l.reanchorWork()
+			return false, true
+		}
+	}
+	for _, c := range l.sessions {
+		if c.req.Tag == tag && !c.done {
+			c.done = true
+			l.inFlight--
+			l.dropSession(c)
+			l.liveWork -= c.lastRem
+			l.reanchorWork()
+			if c.mem != nil {
+				l.plane.Finish(c.mem)
+			}
+			return c.started, true
+		}
+	}
+	return false, false
+}
+
 // Wake returns the earliest horizon at which StepTo would make progress
 // (execute a slice, admit an arrival, or jump the clock to one), and
 // false when the loop is drained or failed — the fleet event heap's
@@ -490,6 +533,7 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		c := live[pick]
 		if !c.started {
 			cfg := l.s.cfg
+			cfg.Strategy = l.s.effectiveStrategy(c.req)
 			if w := l.s.effectiveWidth(c.req); w != cfg.Policy.Width() {
 				// Budget-degraded request: run the same algorithm at the
 				// narrowed width (the §4.1 search semantics are unchanged,
@@ -551,6 +595,16 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 			// live KV usage beyond the prompt — per-beam decode state that
 			// widens and narrows as the search proceeds.
 			l.plane.SyncDecode(c.mem, int(c.solver.gen.Cache.UsedTokens())-c.req.Problem.PromptTokens)
+		}
+
+		// Deadline strategy: a request whose deadline passed mid-solve is
+		// finalized early with the best path found so far. The cut lands at
+		// slice granularity — the slice that crossed the deadline completes
+		// first, mirroring how fail-stop and preemption are observed.
+		if !c.solver.done() && c.req.Deadline > 0 && l.now >= c.req.Deadline {
+			if st := l.s.effectiveStrategy(c.req); st != nil && st.CutAtDeadline() {
+				c.solver.cutDeadline()
+			}
 		}
 
 		if c.solver.done() {
@@ -650,6 +704,16 @@ func (s *Server) viewOf(c *session) sched.ServeRequest {
 // SJF policy and least-work router see that.
 func (s *Server) estimateWork(rq Request) float64 {
 	return sched.EstimateDemand(rq.Problem, s.effectiveWidth(rq))
+}
+
+// effectiveStrategy resolves a request's test-time-compute strategy:
+// the per-request override when one is set, else the deployment's
+// configured strategy (nil means full-beam legacy semantics).
+func (s *Server) effectiveStrategy(rq Request) search.Strategy {
+	if rq.Strategy != nil {
+		return rq.Strategy
+	}
+	return s.cfg.Strategy
 }
 
 // effectiveWidth resolves a request's effective search width: the

@@ -73,11 +73,12 @@ type solver struct {
 	offload  bool
 	meanStep int
 
-	nextNode int
-	nextBeam int
-	active   []*beam
-	finished []FinalPath
-	iter     int
+	nextNode  int
+	nextBeam  int
+	active    []*beam
+	finished  []FinalPath
+	iter      int
+	abandoned int
 
 	specTok      int64
 	specRetained int64
@@ -105,6 +106,18 @@ func newSolver(cfg Config, p *workload.Problem, preempt func(float64) bool) (*so
 	verEng, err := engine.New("verifier", cfg.Verifier, cfg.GPU, budget/2, clk, cfg.Recorder)
 	if err != nil {
 		return nil, err
+	}
+	// The strategy's launch cap (first-finish's k chains) narrows the
+	// policy exactly like the elastic governor's width knob, so algorithm
+	// invariants (n >= b) hold by construction.
+	if cfg.Strategy != nil {
+		if w := cfg.Strategy.ChainWidth(cfg.Policy.Width()); w != cfg.Policy.Width() {
+			pol, err := search.WithWidth(cfg.Policy, w)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Policy = pol
+		}
 	}
 	root := rng.New(cfg.Seed).ChildN(p.Dataset, p.Index)
 	spec := p.Spec()
@@ -195,17 +208,66 @@ func (s *solver) stepOnce() error {
 	return nil
 }
 
-// done reports whether the search loop has terminated (all paths
-// collected, or the iteration cap reached).
+// done reports whether the search loop has terminated: all paths
+// collected, the iteration cap reached, or the strategy satisfied early
+// (first-finish stops at the first completed path).
 func (s *solver) done() bool {
-	return s.begun && (len(s.active) == 0 || s.iter >= s.maxIters)
+	if !s.begun {
+		return false
+	}
+	if len(s.active) == 0 || s.iter >= s.maxIters {
+		return true
+	}
+	return s.strategySatisfied()
+}
+
+// strategySatisfied reports whether the configured strategy allows
+// stopping with beams still active.
+func (s *solver) strategySatisfied() bool {
+	return s.cfg.Strategy != nil && len(s.finished) > 0 &&
+		s.cfg.Strategy.Satisfied(len(s.finished), len(s.active))
+}
+
+// cutDeadline finalizes the search early at a deadline cut: the serving
+// loop invokes it (at slice granularity) when the request's deadline
+// passes mid-solve under the "deadline" strategy. If no path finished
+// yet, the best active beam (score descending, ID ascending) is
+// collected as a degraded answer — Answer 1, honest accounting that the
+// cut traded accuracy for latency. All remaining beams are abandoned.
+func (s *solver) cutDeadline() {
+	if len(s.active) == 0 {
+		return
+	}
+	if len(s.finished) == 0 {
+		best := s.active[0]
+		for _, b := range s.active[1:] {
+			if b.score > best.score || (b.score == best.score && b.id < best.id) {
+				best = b
+			}
+		}
+		s.finished = append(s.finished, FinalPath{
+			BeamID:      best.id,
+			Steps:       best.state.Steps,
+			Tokens:      best.state.Tokens,
+			Answer:      1,
+			Score:       best.score,
+			CompletedAt: s.clk.Now(),
+		})
+	}
+	s.abandoned += len(s.active)
+	s.active = s.active[:0]
 }
 
 // result assembles the final Result; it errors if the search ran out of
-// iterations with beams still active.
+// iterations with beams still active. Beams still active because the
+// strategy terminated early are abandoned, not errors.
 func (s *solver) result() (*Result, error) {
 	if len(s.active) > 0 {
-		return nil, fmt.Errorf("core: search did not converge after %d iterations", s.maxIters)
+		if !s.strategySatisfied() {
+			return nil, fmt.Errorf("core: search did not converge after %d iterations", s.maxIters)
+		}
+		s.abandoned += len(s.active)
+		s.active = s.active[:0]
 	}
 
 	res := &Result{
@@ -216,6 +278,7 @@ func (s *solver) result() (*Result, error) {
 		VerTime:          s.ver.Eng.BusyTime - s.ver.Eng.TransferTime,
 		TransferTime:     s.gen.TransferTime + s.ver.Eng.TransferTime,
 		Iterations:       s.iter,
+		Abandoned:        s.abandoned,
 		TokensDecoded:    s.gen.DecodedTokens,
 		SpecTokens:       s.specTok,
 		SpecRetained:     s.specRetained,

@@ -37,6 +37,63 @@ type CostPoint struct {
 	SLOAttainment float64
 }
 
+// StrategyPoint is one test-time-compute strategy on the
+// compute-vs-latency plane: the decode tokens a strategy spent per
+// request against the tail latency it delivered, with the accuracy it
+// bought — the axes along which first-finish, deadline cuts, and
+// hedging trade against the full beam.
+type StrategyPoint struct {
+	// Strategy names the configuration (search.Strategy.Name()).
+	Strategy string
+	// TokensPerRequest is the mean decode tokens spent per served
+	// request, including work later abandoned or cancelled.
+	TokensPerRequest float64
+	// P99Latency is the p99 wall latency in virtual seconds.
+	P99Latency float64
+	// Accuracy is the fraction of served requests whose selected path
+	// answered correctly, in [0, 1].
+	Accuracy float64
+}
+
+// StrategyFrontier returns the Pareto-efficient subset of the
+// compute-vs-latency points — the strategies for which no other point
+// spends at most the same tokens for at most the same tail latency
+// while improving one of the two — sorted by ascending tokens per
+// request, ties by ascending p99 then name for determinism. Accuracy
+// rides along as context and does not enter dominance: the bench gate
+// compares it separately at equal accounting.
+func StrategyFrontier(points []StrategyPoint) []StrategyPoint {
+	var out []StrategyPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			betterTokens := q.TokensPerRequest < p.TokensPerRequest
+			betterTail := q.P99Latency < p.P99Latency
+			noWorse := q.TokensPerRequest <= p.TokensPerRequest && q.P99Latency <= p.P99Latency
+			if noWorse && (betterTokens || betterTail) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TokensPerRequest != out[j].TokensPerRequest {
+			return out[i].TokensPerRequest < out[j].TokensPerRequest
+		}
+		if out[i].P99Latency != out[j].P99Latency {
+			return out[i].P99Latency < out[j].P99Latency
+		}
+		return out[i].Strategy < out[j].Strategy
+	})
+	return out
+}
+
 // Frontier returns the Pareto-efficient subset of the SLO-vs-cost
 // points — the runs for which no other run attains at least the same SLO
 // fraction at lower cost (or more at the same cost) — sorted by

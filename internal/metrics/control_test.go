@@ -40,6 +40,42 @@ func TestFrontierDegenerate(t *testing.T) {
 	}
 }
 
+func TestStrategyFrontier(t *testing.T) {
+	pts := []StrategyPoint{
+		{Strategy: "full-beam", TokensPerRequest: 9000, P99Latency: 40, Accuracy: 0.80},
+		{Strategy: "first-finish", TokensPerRequest: 4000, P99Latency: 22, Accuracy: 0.78}, // dominates full-beam
+		{Strategy: "hedged", TokensPerRequest: 16000, P99Latency: 18, Accuracy: 0.80},      // buys tail with tokens
+		{Strategy: "deadline", TokensPerRequest: 5000, P99Latency: 30, Accuracy: 0.75},     // dominated by first-finish
+	}
+	got := StrategyFrontier(pts)
+	want := []StrategyPoint{
+		{Strategy: "first-finish", TokensPerRequest: 4000, P99Latency: 22, Accuracy: 0.78},
+		{Strategy: "hedged", TokensPerRequest: 16000, P99Latency: 18, Accuracy: 0.80},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("StrategyFrontier = %+v, want %+v", got, want)
+	}
+}
+
+func TestStrategyFrontierDegenerate(t *testing.T) {
+	if got := StrategyFrontier(nil); len(got) != 0 {
+		t.Errorf("StrategyFrontier(nil) = %v", got)
+	}
+	one := []StrategyPoint{{Strategy: "only", TokensPerRequest: 10, P99Latency: 5}}
+	if got := StrategyFrontier(one); !reflect.DeepEqual(got, one) {
+		t.Errorf("single point dropped: %v", got)
+	}
+	// Accuracy never enters dominance: a strictly less accurate but
+	// cheaper, faster point still wins the plane.
+	acc := []StrategyPoint{
+		{Strategy: "fast", TokensPerRequest: 10, P99Latency: 5, Accuracy: 0.1},
+		{Strategy: "slow", TokensPerRequest: 20, P99Latency: 9, Accuracy: 0.9},
+	}
+	if got := StrategyFrontier(acc); len(got) != 1 || got[0].Strategy != "fast" {
+		t.Errorf("accuracy leaked into dominance: %+v", got)
+	}
+}
+
 // TestSummarizeFleetDeviceSeconds pins the capacity-cost aggregate: the
 // sum of live intervals, whatever ended them.
 func TestSummarizeFleetDeviceSeconds(t *testing.T) {

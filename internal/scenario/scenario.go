@@ -28,13 +28,16 @@
 //	budget-storm       compute-budget governor degrades search width under bursts
 //	cache-thrash       repeated prompts against tight KV memory planes under cache-aware routing
 //	shared-prefix-storm  bursts over a tiny hot prompt set under prefix-affinity routing
+//	first-finish-mix   AIME-heavy mix served under the first-finish strategy
+//	hedged-tail        straggler-skewed fleet where hedged replication buys the tail
 //
 // autoscale-diurnal, flash-absorb, and budget-storm attach the elastic
 // control plane (internal/control) on the cluster target; cache-thrash
 // and shared-prefix-storm enable the per-device KV-cache memory plane
-// (internal/memplane). On the server target every scenario serves the
-// same stream on a fixed single device, which keeps the two targets
-// comparable.
+// (internal/memplane); first-finish-mix and hedged-tail set a
+// test-time-compute strategy (internal/search). On the server target
+// every scenario serves the same stream on a fixed single device, which
+// keeps the two targets comparable.
 package scenario
 
 import (
@@ -132,6 +135,10 @@ type Spec struct {
 	// SLOLatency is the per-request wall-latency target in seconds used by
 	// stats on both targets; 0 disables SLO accounting.
 	SLOLatency float64
+	// Strategy names the test-time-compute strategy ("full-beam",
+	// "first-finish[:k]", "deadline", "hedged"); empty keeps the legacy
+	// full-beam loop. On the server target "hedged" is a per-device no-op.
+	Strategy string
 	// Autoscale, when non-nil, attaches the elastic control plane on the
 	// cluster target.
 	Autoscale *Autoscale
@@ -225,6 +232,16 @@ func All() []Scenario {
 			Name:        "shared-prefix-storm",
 			Description: "synchronized bursts over a tiny hot prompt set under prefix-affinity routing with KV planes",
 			Build:       buildSharedPrefixStorm,
+		},
+		{
+			Name:        "first-finish-mix",
+			Description: "AIME-heavy problem mix served under the first-finish strategy: answer on the first converged chain",
+			Build:       buildFirstFinishMix,
+		},
+		{
+			Name:        "hedged-tail",
+			Description: "straggler-skewed fleet where hedged cross-device replication cancels the slow copy and buys the tail",
+			Build:       buildHedgedTail,
 		},
 	}
 }
@@ -602,5 +619,56 @@ func buildSharedPrefixStorm(p Params) Spec {
 		Devices:    devices,
 		Router:     "prefix",
 		SLOLatency: 120,
+	}
+}
+
+// --- test-time-compute strategy scenarios ---
+
+// buildFirstFinishMix is the first-finish strategy's home turf: an
+// AIME-dominated mix whose heavy-tailed service demand comes almost
+// entirely from beams that keep searching after the first chain has
+// already converged. Returning on the first finished chain cuts decode
+// tokens and the latency tail without touching the answer the full beam
+// would have selected first.
+func buildFirstFinishMix(p Params) Spec {
+	p = p.withDefaults(16)
+	r := rng.New(p.Seed).Child("scenario/first-finish-mix")
+	arrivals := workload.PoissonArrivals(p.Requests, 0.3, r.Child("arrivals"))
+	mix := []mixEntry{{"AIME24", 0.7}, {"MATH500", 0.3}}
+	return Spec{
+		Name:       "first-finish-mix",
+		Seed:       p.Seed,
+		Requests:   mixProblems(arrivals, mix, r.Child("mix")),
+		Serve:      Serve{Policy: "fcfs"},
+		Devices:    defaultFleet(p.Seed),
+		Router:     "rr",
+		SLOLatency: 240,
+		Strategy:   "first-finish",
+	}
+}
+
+// buildHedgedTail is the hedged strategy's home turf: a quiet stream on
+// a fleet with one 4x straggler. Round-robin routing lands a third of
+// the requests on the slow device; hedging replicates each arrival to a
+// second device, takes whichever copy finishes first, and cancels the
+// loser — so a straggler-routed request costs only the fast twin's
+// latency, collapsing the tail for double the (otherwise idle) compute.
+func buildHedgedTail(p Params) Spec {
+	p = p.withDefaults(15)
+	r := rng.New(p.Seed).Child("scenario/hedged-tail")
+	arrivals := workload.PoissonArrivals(p.Requests, 0.05, r.Child("arrivals"))
+	return Spec{
+		Name:     "hedged-tail",
+		Seed:     p.Seed,
+		Requests: mixProblems(arrivals, singleDataset("MATH500"), r.Child("mix")),
+		Serve:    Serve{Policy: "fcfs"},
+		Devices: []Device{
+			{GPU: "RTX 4090", NumBeams: 8, Seed: p.Seed + 1},
+			{GPU: "RTX 4090", NumBeams: 8, Seed: p.Seed + 2, Slowdown: 8},
+			{GPU: "RTX 4070 Ti", NumBeams: 8, Seed: p.Seed + 3},
+		},
+		Router:     "rr",
+		SLOLatency: 240,
+		Strategy:   "hedged",
 	}
 }

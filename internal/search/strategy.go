@@ -1,0 +1,162 @@
+package search
+
+// Test-time-compute strategies: the layer above the search Policy that
+// decides *when the search is allowed to stop* and *how the serving
+// stack may replicate it*. A Policy shapes the beam tree (width, branch
+// factor, selection); a Strategy shapes the latency/compute tradeoff of
+// running it:
+//
+//	full-beam     run the policy's beam to normal termination — the
+//	              legacy semantics and the default
+//	first-finish  launch k parallel chains and return on the first
+//	              completed one ("First Finish Search", arXiv 2505.18149)
+//	deadline      cut the solve when the request's deadline passes
+//	              mid-flight, returning the best path found so far
+//	hedged        replicate the request to a second device and cancel
+//	              the loser on first completion (fleet-level; the solver
+//	              semantics are full-beam)
+//
+// Strategies are selected by name like routers, policies, and
+// controllers, and are deliberately pure: every hook is a deterministic
+// function of counts the solver already tracks, so enabling one never
+// perturbs the virtual-time simulation's reproducibility.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Strategy is one test-time-compute strategy. Implementations are
+// immutable values shared across requests.
+type Strategy interface {
+	// Name is the CLI/config name ("full-beam", "first-finish", ...);
+	// parameterized strategies render their parameters ("first-finish:4").
+	Name() string
+	// Satisfied reports whether the search may stop early with the given
+	// finished-path and active-beam counts. The solver consults it after
+	// every selection round; full-beam always answers false (normal
+	// termination only).
+	Satisfied(finished, active int) bool
+	// ChainWidth maps the configured search width to the width this
+	// strategy actually launches (first-finish caps it at k chains).
+	ChainWidth(base int) int
+	// CutAtDeadline reports whether the serving loop should finalize the
+	// solve early once the request's deadline passes mid-flight.
+	CutAtDeadline() bool
+	// Hedged reports whether the fleet should replicate the request to a
+	// second device and cancel the loser on first completion. Outside a
+	// fleet (single-server target) a hedged strategy degrades to
+	// full-beam solver semantics.
+	Hedged() bool
+}
+
+// FullBeam is the default strategy: run the policy's beam to normal
+// termination. It reproduces the pre-strategy semantics bit-identically.
+type FullBeam struct{}
+
+func (FullBeam) Name() string            { return "full-beam" }
+func (FullBeam) Satisfied(_, _ int) bool { return false }
+func (FullBeam) ChainWidth(base int) int { return base }
+func (FullBeam) CutAtDeadline() bool     { return false }
+func (FullBeam) Hedged() bool            { return false }
+
+// FirstFinish launches K parallel chains and returns on the first
+// completed one. K == 0 launches the policy's configured width; K > 0
+// caps the launch width at K.
+type FirstFinish struct{ K int }
+
+func (s FirstFinish) Name() string {
+	if s.K > 0 {
+		return "first-finish:" + strconv.Itoa(s.K)
+	}
+	return "first-finish"
+}
+func (s FirstFinish) Satisfied(finished, _ int) bool { return finished >= 1 }
+func (s FirstFinish) ChainWidth(base int) int {
+	if s.K > 0 && s.K < base {
+		return s.K
+	}
+	return base
+}
+func (FirstFinish) CutAtDeadline() bool { return false }
+func (FirstFinish) Hedged() bool        { return false }
+
+// DeadlineCut runs the full beam but finalizes early when the request's
+// deadline passes mid-solve, returning the best path found so far (a
+// degraded answer if nothing finished).
+type DeadlineCut struct{}
+
+func (DeadlineCut) Name() string            { return "deadline" }
+func (DeadlineCut) Satisfied(_, _ int) bool { return false }
+func (DeadlineCut) ChainWidth(base int) int { return base }
+func (DeadlineCut) CutAtDeadline() bool     { return true }
+func (DeadlineCut) Hedged() bool            { return false }
+
+// Hedged replicates the request to a second device and cancels the
+// loser on first completion. The solver-level semantics are full-beam;
+// the replication and cancellation live in the fleet layer.
+type Hedged struct{}
+
+func (Hedged) Name() string            { return "hedged" }
+func (Hedged) Satisfied(_, _ int) bool { return false }
+func (Hedged) ChainWidth(base int) int { return base }
+func (Hedged) CutAtDeadline() bool     { return false }
+func (Hedged) Hedged() bool            { return true }
+
+// ParseStrategy resolves a strategy from its CLI/config spec: "" (nil —
+// strategies off, the legacy path), "full-beam", "first-finish",
+// "first-finish:k" (k >= 1 chains), "deadline", or "hedged". It returns
+// an error — never panics — on unknown names or invalid parameters.
+func ParseStrategy(spec string) (Strategy, error) {
+	name, arg := spec, ""
+	if i := strings.IndexByte(spec, ':'); i >= 0 {
+		name, arg = spec[:i], spec[i+1:]
+	}
+	name = strings.ToLower(strings.TrimSpace(name))
+	if arg != "" && name != "first-finish" {
+		return nil, fmt.Errorf("search: strategy %q takes no parameter (got %q)", name, arg)
+	}
+	switch name {
+	case "":
+		return nil, nil
+	case "full-beam":
+		return FullBeam{}, nil
+	case "first-finish":
+		if arg == "" {
+			return FirstFinish{}, nil
+		}
+		k, err := strconv.Atoi(strings.TrimSpace(arg))
+		if err != nil {
+			return nil, fmt.Errorf("search: first-finish chain count %q is not an integer", arg)
+		}
+		if k < 1 {
+			return nil, fmt.Errorf("search: first-finish needs k >= 1 chains, got %d", k)
+		}
+		return FirstFinish{K: k}, nil
+	case "deadline":
+		return DeadlineCut{}, nil
+	case "hedged":
+		return Hedged{}, nil
+	}
+	return nil, fmt.Errorf("search: unknown strategy %q (want %s)", spec, strings.Join(StrategyNames(), ", "))
+}
+
+// StrategyNames lists the built-in strategy names in display order.
+func StrategyNames() []string {
+	return []string{"full-beam", "first-finish", "deadline", "hedged"}
+}
+
+// DegradedStrategy maps a compute-budget tier to the strategy the fleet's
+// vertical governor actuates: tier 0 keeps the deployment's configured
+// strategy, and any deeper tier swaps it for first-finish — stop at the
+// first completed chain, the cheapest way to keep answering under load.
+// The knob is gated on strategies being enabled: with no base strategy
+// configured (nil) every tier returns nil, so deployments that never
+// opted into strategies reproduce their pre-strategy runs bit-identically.
+func DegradedStrategy(base Strategy, tier int) Strategy {
+	if base == nil || tier <= 0 {
+		return nil
+	}
+	return FirstFinish{}
+}

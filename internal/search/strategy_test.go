@@ -1,0 +1,111 @@
+package search
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStrategy(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    string // expected Name(); "" means nil strategy
+		wantErr string // substring of the expected error; "" means success
+	}{
+		{spec: "", want: ""},
+		{spec: "full-beam", want: "full-beam"},
+		{spec: "FULL-BEAM", want: "full-beam"},
+		{spec: " first-finish ", want: "first-finish"},
+		{spec: "first-finish:4", want: "first-finish:4"},
+		{spec: "first-finish:1", want: "first-finish:1"},
+		{spec: "deadline", want: "deadline"},
+		{spec: "hedged", want: "hedged"},
+		{spec: "first-finish:0", wantErr: "k >= 1"},
+		{spec: "first-finish:-3", wantErr: "k >= 1"},
+		{spec: "first-finish:x", wantErr: "not an integer"},
+		{spec: "hedged:2", wantErr: "takes no parameter"},
+		{spec: "deadline:5", wantErr: "takes no parameter"},
+		{spec: "warp-speed", wantErr: "unknown strategy"},
+	}
+	for _, c := range cases {
+		s, err := ParseStrategy(c.spec)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("ParseStrategy(%q) error = %v, want substring %q", c.spec, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", c.spec, err)
+			continue
+		}
+		if c.want == "" {
+			if s != nil {
+				t.Errorf("ParseStrategy(%q) = %v, want nil (strategies off)", c.spec, s)
+			}
+			continue
+		}
+		if s == nil || s.Name() != c.want {
+			t.Errorf("ParseStrategy(%q) = %v, want %q", c.spec, s, c.want)
+		}
+	}
+}
+
+func TestStrategyHooks(t *testing.T) {
+	if (FullBeam{}).Satisfied(3, 1) || (FullBeam{}).CutAtDeadline() || (FullBeam{}).Hedged() {
+		t.Error("full-beam must never stop early, cut, or hedge")
+	}
+	if (FullBeam{}).ChainWidth(8) != 8 {
+		t.Error("full-beam must keep the configured width")
+	}
+
+	ff := FirstFinish{}
+	if ff.Satisfied(0, 4) {
+		t.Error("first-finish with no finished path must not be satisfied")
+	}
+	if !ff.Satisfied(1, 7) {
+		t.Error("first-finish must stop on the first finished path")
+	}
+	if ff.ChainWidth(8) != 8 {
+		t.Error("first-finish with K=0 must launch the configured width")
+	}
+	if (FirstFinish{K: 4}).ChainWidth(8) != 4 {
+		t.Error("first-finish:4 must cap the launch width at 4 chains")
+	}
+	if (FirstFinish{K: 16}).ChainWidth(8) != 8 {
+		t.Error("first-finish must never widen the search beyond the policy")
+	}
+
+	if !(DeadlineCut{}).CutAtDeadline() || (DeadlineCut{}).Hedged() {
+		t.Error("deadline must cut at the deadline and not hedge")
+	}
+	if !(Hedged{}).Hedged() || (Hedged{}).Satisfied(1, 1) || (Hedged{}).CutAtDeadline() {
+		t.Error("hedged must replicate at the fleet level with full-beam solver semantics")
+	}
+}
+
+func TestStrategyNamesRoundTrip(t *testing.T) {
+	for _, name := range StrategyNames() {
+		s, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("ParseStrategy(%q).Name() = %q", name, s.Name())
+		}
+	}
+}
+
+func TestDegradedStrategy(t *testing.T) {
+	if DegradedStrategy(nil, 2) != nil {
+		t.Error("the strategy knob must stay off when no base strategy is configured")
+	}
+	if DegradedStrategy(FullBeam{}, 0) != nil {
+		t.Error("tier 0 must restore the configured strategy (no override)")
+	}
+	if got := DegradedStrategy(FullBeam{}, 1); got == nil || got.Name() != "first-finish" {
+		t.Errorf("tier 1 must degrade to first-finish, got %v", got)
+	}
+	if got := DegradedStrategy(Hedged{}, 2); got == nil || got.Name() != "first-finish" {
+		t.Errorf("deep tiers must degrade hedging to first-finish, got %v", got)
+	}
+}

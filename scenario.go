@@ -28,8 +28,9 @@ type ScenarioInfo struct {
 // Scenarios lists the built-in workload scenario catalog (see
 // internal/scenario): steady, diurnal, flash-crowd, heavy-tail,
 // tenant-mix, fleet-churn, burst-storm, the controller-driven
-// autoscale-diurnal, flash-absorb, and budget-storm, and the KV
-// memory-plane cache-thrash and shared-prefix-storm.
+// autoscale-diurnal, flash-absorb, and budget-storm, the KV
+// memory-plane cache-thrash and shared-prefix-storm, and the
+// test-time-compute-strategy first-finish-mix and hedged-tail.
 func Scenarios() []ScenarioInfo {
 	var out []ScenarioInfo
 	for _, s := range scenario.All() {
@@ -64,6 +65,12 @@ type ScenarioOptions struct {
 	// compare routers on one stream). Empty keeps the scenario's own
 	// router, so goldens are unaffected.
 	Router string
+	// Strategy, when non-empty, overrides the scenario's test-time-compute
+	// strategy on both targets (the bench uses it to compare strategies on
+	// one stream): "full-beam", "first-finish[:k]", "deadline", or
+	// "hedged". Empty keeps the scenario's own strategy, so goldens are
+	// unaffected.
+	Strategy string
 	// KVPlaneBytes overrides the per-device KV memory-plane capacity on
 	// every scenario device (warm-pool templates included): positive sets
 	// that capacity in bytes, negative disables the plane entirely, and 0
@@ -113,6 +120,9 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioRun, error) {
 	if opts.Router != "" {
 		spec.Router = opts.Router
 	}
+	if opts.Strategy != "" {
+		spec.Strategy = opts.Strategy
+	}
 	if opts.KVPlaneBytes != 0 {
 		capacity := opts.KVPlaneBytes
 		if capacity < 0 {
@@ -144,8 +154,10 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioRun, error) {
 	}
 	switch target {
 	case ScenarioServer:
+		cfg := deviceConfig(spec.Devices[0])
+		cfg.Strategy = spec.Strategy
 		srv, err := NewServerWith(ServeConfig{
-			Config:      deviceConfig(spec.Devices[0]),
+			Config:      cfg,
 			Policy:      spec.Serve.Policy,
 			MaxInFlight: spec.Serve.MaxInFlight,
 			SLOLatency:  spec.SLOLatency,
@@ -197,6 +209,7 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioRun, error) {
 			Router:      spec.Router,
 			Seed:        spec.Seed,
 			SLOLatency:  spec.SLOLatency,
+			Strategy:    spec.Strategy,
 			Autoscale:   auto,
 			Parallelism: opts.Parallelism,
 		})
