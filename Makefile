@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint bench cover scenarios bench-regress bench-perf bench-cache bench-metrics bench-strategy golden
+.PHONY: all build test lint bench cover scenarios bench-regress bench-perf bench-cache bench-metrics bench-strategy bench-trace golden
 
 all: build lint test
 
@@ -100,6 +100,18 @@ bench-strategy:
 # mega-steady pass retains more than a constant amount of heap.
 bench-metrics:
 	$(GO) run ./cmd/fastttsbench -metrics -out .
+
+# Flight-recorder trace sweep: run every catalog scenario with the span
+# recorder attached — span lifecycles must verify and every request's
+# attribution components must sum to its measured wall latency within
+# 1 ulp — then time recorder-off vs recorder-on on long streams
+# (best-of-5, overhead gate <= 10%). Exits nonzero when either gate
+# fails. Emits BENCH_trace.json plus trace.json, a representative
+# Perfetto export of the fleet-churn scenario (load it at
+# ui.perfetto.dev). The attribution cells are deterministic and match
+# the committed BENCH_trace.json up to elapsed_ms and overhead timings.
+bench-trace:
+	$(GO) run ./cmd/fastttsbench -trace -out .
 
 # Regenerate the golden traces after an *intentional* behavior change.
 # Review the resulting diff like code before committing it.

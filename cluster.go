@@ -124,6 +124,14 @@ type ClusterConfig struct {
 	// judged against SLOLatency at completion time. See the package
 	// docs' "Streaming metrics".
 	Metrics MetricsMode
+	// Trace, when non-nil, attaches the span flight recorder: every Run
+	// records request lifecycles on each device plus the fleet control
+	// plane (routing decisions, hedge twins, requeues, ticks, joins,
+	// drains) without perturbing the run, and FleetStats gains the
+	// latency-attribution rollup. Traces are bit-identical at every
+	// Parallelism setting. The recorder accumulates across Runs; call
+	// Recorder.Reset between them for per-run traces. See Recorder.
+	Trace *Recorder
 }
 
 // FleetResult is one fleet-served request: the usual ServedResult plus
@@ -237,6 +245,10 @@ type FleetStats struct {
 	DeviceSeconds float64
 	// Control summarizes the controller's activity; nil without one.
 	Control *ControlStats
+	// Attribution is the latency-attribution rollup over finished
+	// requests; non-nil only when ClusterConfig.Trace attached a
+	// recorder to the run.
+	Attribution *AttributionStats
 }
 
 // Cluster serves request streams with a fleet of heterogeneous edge
@@ -267,6 +279,7 @@ type Cluster struct {
 	shards   int
 	mode     metrics.Mode
 	strategy search.Strategy
+	trace    *Recorder
 }
 
 // FleetRun is the outcome of one Cluster.Run.
@@ -394,7 +407,7 @@ func NewCluster(cc ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fasttts: %w", err)
 	}
-	c := &Cluster{devices: devices, names: names, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency, shards: cc.Parallelism, mode: mode, strategy: strat}
+	c := &Cluster{devices: devices, names: names, router: cc.Router, seed: cc.Seed, slo: cc.SLOLatency, shards: cc.Parallelism, mode: mode, strategy: strat, trace: cc.Trace}
 	if cc.Autoscale != nil {
 		auto := *cc.Autoscale
 		if _, err := control.ByName(auto.Policy); err != nil {
@@ -424,6 +437,7 @@ func (c *Cluster) newFleet() (*cluster.Fleet, error) {
 	cfg := cluster.Config{
 		Devices: c.devices, Router: router, Seed: c.seed, Shards: c.shards,
 		Metrics: c.mode, SLOLatency: c.slo, Strategy: c.strategy,
+		Obs: c.trace.rec(),
 	}
 	if c.auto != nil {
 		ctl, err := control.ByName(c.auto.Policy)
@@ -528,6 +542,10 @@ func (c *Cluster) wrapFleetStats(m metrics.FleetStats) FleetStats {
 		ReprefillSeconds:   m.ReprefillSeconds,
 		FailedDevices:      m.FailedDevices,
 		DeviceSeconds:      m.DeviceSeconds,
+	}
+	if m.Attribution != nil {
+		attr := wrapAttribution(*m.Attribution)
+		st.Attribution = &attr
 	}
 	if m.Control != nil {
 		st.Control = &ControlStats{

@@ -16,6 +16,8 @@
 //	                                      # nonzero exit on any golden mismatch
 //	fastttsbench -metrics -out .          # streaming-sketch error sweep -> ./BENCH_metrics.json,
 //	                                      # nonzero exit past the documented error bound
+//	fastttsbench -trace -out .            # flight-recorder sweep -> ./BENCH_trace.json + ./trace.json,
+//	                                      # nonzero exit past the overhead or attribution-sum gate
 package main
 
 import (
@@ -46,6 +48,7 @@ func main() {
 		cache     = flag.Bool("cache", false, "run the KV memory-plane cache sweep (router x capacity matrix) instead of figures")
 		strategyF = flag.Bool("strategy", false, "run the test-time-compute strategy sweep (scenario x strategy matrix) instead of figures")
 		metricsF  = flag.Bool("metrics", false, "run the streaming-metrics sketch-vs-exact sweep (synthetic streams + scenario catalog) instead of figures")
+		traceF    = flag.Bool("trace", false, "run the flight-recorder trace sweep (attribution exactness on the catalog + recorder overhead) instead of figures")
 
 		perf         = flag.Bool("perf", false, "run the fleet-core perf sweep instead of figures")
 		perfDevs     = flag.String("perf-devices", "1,8,64,256,1024", "comma-separated fleet sizes for -perf")
@@ -144,6 +147,18 @@ func main() {
 			}
 		}
 		if err := runStrategySweep(*out, *requests, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *traceF {
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		if err := runTraceSweep(*out, *requests, *seed); err != nil {
 			fatal(err)
 		}
 		return

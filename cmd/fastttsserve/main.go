@@ -21,6 +21,8 @@
 //	fastttsserve -n 24 -strategy first-finish
 //	fastttsserve -n 24 -devices "RTX 4090,RTX 4090,RTX 3070 Ti" \
 //	    -strategy hedged -slow 2:4
+//	fastttsserve -n 32 -devices "RTX 4090,RTX 4070 Ti" -kv-plane \
+//	    -trace-out trace.json -attr
 package main
 
 import (
@@ -55,6 +57,8 @@ func main() {
 		slo         = flag.Float64("slo", 0, "wall-latency SLO target in seconds (0 = none)")
 		verbose     = flag.Bool("v", false, "print per-request (and per-device) telemetry")
 		jsonOut     = flag.Bool("json", false, "emit the full stats struct as JSON instead of tables")
+		traceOut    = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the primary run (first -policy/-router) to this file")
+		attr        = flag.Bool("attr", false, "report the primary run's latency attribution (wall = queue + service + re-prefill + straggler + preemption)")
 		devices     = flag.String("devices", "", "comma-separated fleet GPU names; non-empty selects fleet mode")
 		router      = flag.String("router", "rr", "fleet router: single, rr, least-work, jsq, p2c, prefix, cache-aware")
 		kvPlane     = flag.Bool("kv-plane", false, "enable the per-device KV-cache memory plane (capacity auto-sized from the device's KV budget)")
@@ -90,6 +94,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Tracing is opt-in: a recorder only exists when a trace or the
+	// attribution report was asked for, and it is attached to the primary
+	// run only so -compare runs don't interleave their spans.
+	var rec *fasttts.Recorder
+	if *traceOut != "" || *attr {
+		rec = fasttts.NewRecorder()
+	}
 	probs := make([]*fasttts.Problem, *n)
 	for i := range probs {
 		probs[i] = ds.Problems[i%len(ds.Problems)]
@@ -122,7 +133,7 @@ func main() {
 			minDevices: *minDevices, maxDevices: *maxDevices, maxTier: *maxTier,
 			probs: probs, rate: *rate, seed: *seed, slo: *slo,
 			dataset: *dataset, base: baseCfg, verbose: *verbose, jsonOut: *jsonOut,
-			metrics: metricsMode,
+			metrics: metricsMode, trace: rec, traceOut: *traceOut, attr: *attr,
 		})
 		return
 	}
@@ -141,17 +152,19 @@ func main() {
 		fmt.Printf("%-10s %9s %7s %7s %6s %9s %9s %9s %9s %9s %8s %6s\n",
 			"policy", "metrics", "served", "reject", "nonfin", "mean_q(s)", "p50(s)", "p95(s)", "p99(s)", "goodput", "slo_att", "mksp")
 	}
-	report := reportJSON{Mode: "open", Dataset: *dataset, Requests: *n, Rate: *rate, Seed: *seed}
-	if *closed {
-		report.Mode, report.Rate = "closed", 0
-	}
-	for _, pol := range policies {
+	report := serveReport(*dataset, *n, *closed, *rate, *seed, *strategy)
+	for i, pol := range policies {
+		var tr *fasttts.Recorder
+		if i == 0 {
+			tr = rec
+		}
 		srv, err := fasttts.NewServerWith(fasttts.ServeConfig{
 			Config:      baseCfg(*seed),
 			Policy:      pol,
 			MaxInFlight: *maxInFlight,
 			SLOLatency:  *slo,
 			Metrics:     metricsMode,
+			Trace:       tr,
 		})
 		if err != nil {
 			fatal(err)
@@ -189,6 +202,7 @@ func main() {
 			fmt.Println()
 		}
 	}
+	finishTrace(rec, *traceOut, *attr, *jsonOut, &report)
 	if *jsonOut {
 		emitJSON(report)
 	}
@@ -218,6 +232,9 @@ type fleetArgs struct {
 	verbose     bool
 	jsonOut     bool
 	metrics     fasttts.MetricsMode
+	trace       *fasttts.Recorder
+	traceOut    string
+	attr        bool
 }
 
 // describeMetrics renders the aggregation mode for the preamble.
@@ -276,6 +293,10 @@ func runFleet(a fleetArgs) {
 	routers := append([]string{a.router}, a.compare...)
 	clusters := make([]*fasttts.Cluster, len(routers))
 	for i, rt := range routers {
+		var tr *fasttts.Recorder
+		if i == 0 {
+			tr = a.trace
+		}
 		cl, err := fasttts.NewCluster(fasttts.ClusterConfig{
 			Devices:    specs,
 			Router:     rt,
@@ -284,6 +305,7 @@ func runFleet(a fleetArgs) {
 			Strategy:   a.strategy,
 			Autoscale:  auto,
 			Metrics:    a.metrics,
+			Trace:      tr,
 		})
 		if err != nil {
 			fatal(err)
@@ -315,8 +337,7 @@ func runFleet(a fleetArgs) {
 		fmt.Printf("\n%-10s %9s %7s %7s %7s %9s %9s %9s %9s %6s %6s %6s %8s %8s %6s\n",
 			"router", "metrics", "served", "reject", "requeue", "p50(s)", "p95(s)", "p99(s)", "goodput", "imb", "hit%", "cache%", "slo_att", "devsec", "mksp")
 	}
-	report := reportJSON{Mode: "fleet", Dataset: a.dataset, Requests: len(a.probs),
-		Rate: a.rate, Seed: a.seed, Devices: a.gpus}
+	report := fleetReport(a.dataset, len(a.probs), a.rate, a.seed, a.gpus, a.strategy)
 	for i, rt := range routers {
 		run, err := clusters[i].Run(reqs)
 		if err != nil {
@@ -324,7 +345,7 @@ func runFleet(a fleetArgs) {
 		}
 		st := run.Stats()
 		if a.jsonOut {
-			report.Runs = append(report.Runs, runJSON{Router: rt, Stats: st})
+			report.Runs = append(report.Runs, fleetRunJSON(rt, st))
 			continue
 		}
 		fmt.Printf("%-10s %9s %7d %7d %7d %9.2f %9.2f %9.2f %9.2f %6.2f %5.0f%% %5.0f%% %7.0f%% %8.0f %6.0f\n",
@@ -361,6 +382,7 @@ func runFleet(a fleetArgs) {
 			fmt.Println()
 		}
 	}
+	finishTrace(a.trace, a.traceOut, a.attr, a.jsonOut, &report)
 	if a.jsonOut {
 		emitJSON(report)
 	}
@@ -369,17 +391,111 @@ func runFleet(a fleetArgs) {
 type runJSON struct {
 	Policy string `json:"policy,omitempty"`
 	Router string `json:"router,omitempty"`
-	Stats  any    `json:"stats"`
+	// CacheHitRate surfaces the fleet KV memory-plane hit rate at the run
+	// level (fleet mode only) so offline joins against traces don't have
+	// to dig into the stats blob.
+	CacheHitRate *float64 `json:"cache_hit_rate,omitempty"`
+	Stats        any      `json:"stats"`
 }
 
 type reportJSON struct {
-	Mode     string    `json:"mode"`
-	Dataset  string    `json:"dataset"`
-	Requests int       `json:"requests"`
-	Rate     float64   `json:"rate,omitempty"`
-	Seed     uint64    `json:"seed"`
-	Devices  []string  `json:"devices,omitempty"`
-	Runs     []runJSON `json:"runs"`
+	Mode     string  `json:"mode"`
+	Dataset  string  `json:"dataset"`
+	Requests int     `json:"requests"`
+	Rate     float64 `json:"rate,omitempty"`
+	Seed     uint64  `json:"seed"`
+	// Strategy is the effective test-time-compute strategy of every run
+	// in the report ("full-beam" when the -strategy flag was empty).
+	Strategy    string                    `json:"strategy"`
+	Devices     []string                  `json:"devices,omitempty"`
+	Runs        []runJSON                 `json:"runs"`
+	Attribution *fasttts.AttributionStats `json:"attribution,omitempty"`
+}
+
+// serveReport builds the -json skeleton for single-device mode.
+func serveReport(dataset string, n int, closed bool, rate float64, seed uint64, strategy string) reportJSON {
+	r := reportJSON{Mode: "open", Dataset: dataset, Requests: n,
+		Rate: rate, Seed: seed, Strategy: effectiveStrategy(strategy)}
+	if closed {
+		r.Mode, r.Rate = "closed", 0
+	}
+	return r
+}
+
+// fleetReport builds the -json skeleton for fleet mode.
+func fleetReport(dataset string, n int, rate float64, seed uint64, devices []string, strategy string) reportJSON {
+	return reportJSON{Mode: "fleet", Dataset: dataset, Requests: n,
+		Rate: rate, Seed: seed, Strategy: effectiveStrategy(strategy),
+		Devices: devices}
+}
+
+// fleetRunJSON wraps one fleet run for the report, lifting the cache
+// hit rate beside the router name.
+func fleetRunJSON(router string, st fasttts.FleetStats) runJSON {
+	hit := st.CacheHitRate
+	return runJSON{Router: router, CacheHitRate: &hit, Stats: st}
+}
+
+// effectiveStrategy resolves the -strategy flag's empty default to the
+// name of the strategy it selects.
+func effectiveStrategy(s string) string {
+	if s == "" {
+		return "full-beam"
+	}
+	return s
+}
+
+// finishTrace drains the primary run's recorder: it writes the Perfetto
+// export when -trace-out was given and reports the latency-attribution
+// rollup when -attr was — into the JSON report in -json mode, as a table
+// otherwise. No-op when tracing is off (nil recorder).
+func finishTrace(rec *fasttts.Recorder, traceOut string, attr, jsonOut bool, report *reportJSON) {
+	if rec == nil {
+		return
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WritePerfetto(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if !attr {
+		return
+	}
+	st := rec.AttributionSummary()
+	if jsonOut {
+		report.Attribution = &st
+		return
+	}
+	fmt.Printf("\nattribution (primary run): %d requests, %d hedged, %d slices, %d preemptions, %d requeues\n",
+		st.Requests, st.Hedged, st.Slices, st.Preemptions, st.Requeues)
+	fmt.Printf("%-12s %12s %8s\n", "component", "seconds", "share")
+	total := st.Wall
+	for _, c := range []struct {
+		name string
+		val  float64
+	}{
+		{"queue", st.Queue}, {"service", st.Service}, {"re-prefill", st.Reprefill},
+		{"straggler", st.Straggler}, {"preemption", st.Preemption},
+	} {
+		share := 0.0
+		if total > 0 {
+			share = 100 * c.val / total
+		}
+		fmt.Printf("%-12s %12.2f %7.1f%%\n", c.name, c.val, share)
+	}
+	fmt.Printf("%-12s %12.2f %7.1f%%\n", "wall", total, 100.0)
+	if st.HedgeWaste > 0 || st.LostWork > 0 {
+		fmt.Printf("side channels: hedge-waste %.2fs, lost-work %.2fs (overlap wall, not added)\n",
+			st.HedgeWaste, st.LostWork)
+	}
 }
 
 func emitJSON(r reportJSON) {

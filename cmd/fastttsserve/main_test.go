@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fasttts"
+)
+
+// TestReportJSONShape table-tests the -json document builders: fleet
+// reports must carry the effective strategy name and a run-level cache
+// hit rate so offline tooling can join them against Perfetto traces
+// without digging into the stats blob.
+func TestReportJSONShape(t *testing.T) {
+	fleetStats := fasttts.FleetStats{CacheHitRate: 0.25}
+	fleetStats.Served = 10
+	cases := []struct {
+		name    string
+		report  reportJSON
+		want    map[string]any // top-level key -> expected value (nil = just present)
+		absent  []string       // top-level keys that must not serialize
+		runWant map[string]any // first run's key -> expected value
+		runskip []string       // first run keys that must not serialize
+	}{
+		{
+			name:   "server open loop default strategy",
+			report: withRun(serveReport("AMC23", 16, false, 0.5, 42, ""), runJSON{Policy: "fcfs", Stats: fasttts.ServeStats{Served: 16}}),
+			want: map[string]any{
+				"mode": "open", "dataset": "AMC23", "requests": 16.0,
+				"rate": 0.5, "seed": 42.0, "strategy": "full-beam",
+			},
+			absent:  []string{"devices", "attribution"},
+			runWant: map[string]any{"policy": "fcfs"},
+			runskip: []string{"router", "cache_hit_rate"},
+		},
+		{
+			name:   "server closed loop drops rate",
+			report: withRun(serveReport("MATH500", 8, true, 0.5, 7, "first-finish:4"), runJSON{Policy: "sjf", Stats: fasttts.ServeStats{}}),
+			want: map[string]any{
+				"mode": "closed", "strategy": "first-finish:4",
+			},
+			absent: []string{"rate", "devices"},
+		},
+		{
+			name: "fleet run lifts strategy and cache hit rate",
+			report: withRun(
+				fleetReport("AIME24", 24, 1.5, 9, []string{"RTX 4090", "RTX 3070 Ti"}, "hedged"),
+				fleetRunJSON("least-work", fleetStats)),
+			want: map[string]any{
+				"mode": "fleet", "strategy": "hedged",
+				"devices": []any{"RTX 4090", "RTX 3070 Ti"},
+			},
+			runWant: map[string]any{"router": "least-work", "cache_hit_rate": 0.25},
+			runskip: []string{"policy"},
+		},
+		{
+			name: "fleet zero cache hit rate still serializes",
+			report: withRun(
+				fleetReport("AMC23", 4, 0.5, 42, []string{"RTX 4090"}, ""),
+				fleetRunJSON("rr", fasttts.FleetStats{})),
+			want:    map[string]any{"strategy": "full-beam"},
+			runWant: map[string]any{"cache_hit_rate": 0.0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, err := json.Marshal(tc.report)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var doc map[string]any
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				t.Fatal(err)
+			}
+			for k, want := range tc.want {
+				got, ok := doc[k]
+				if !ok {
+					t.Errorf("report missing key %q", k)
+					continue
+				}
+				if want != nil && !equalJSON(got, want) {
+					t.Errorf("report[%q] = %v, want %v", k, got, want)
+				}
+			}
+			for _, k := range tc.absent {
+				if _, ok := doc[k]; ok {
+					t.Errorf("report key %q should be omitted", k)
+				}
+			}
+			runs, ok := doc["runs"].([]any)
+			if !ok || len(runs) == 0 {
+				t.Fatalf("report runs missing: %v", doc["runs"])
+			}
+			run, ok := runs[0].(map[string]any)
+			if !ok {
+				t.Fatalf("run is not an object: %v", runs[0])
+			}
+			if _, ok := run["stats"]; !ok {
+				t.Error("run missing stats blob")
+			}
+			for k, want := range tc.runWant {
+				got, ok := run[k]
+				if !ok {
+					t.Errorf("run missing key %q", k)
+					continue
+				}
+				if want != nil && got != want {
+					t.Errorf("run[%q] = %v, want %v", k, got, want)
+				}
+			}
+			for _, k := range tc.runskip {
+				if _, ok := run[k]; ok {
+					t.Errorf("run key %q should be omitted", k)
+				}
+			}
+		})
+	}
+}
+
+// TestEffectiveStrategy pins the empty-flag default.
+func TestEffectiveStrategy(t *testing.T) {
+	if got := effectiveStrategy(""); got != "full-beam" {
+		t.Errorf(`effectiveStrategy("") = %q, want "full-beam"`, got)
+	}
+	if got := effectiveStrategy("hedged"); got != "hedged" {
+		t.Errorf(`effectiveStrategy("hedged") = %q`, got)
+	}
+}
+
+// TestFleetStatsBlobCarriesJoinKeys guards the join contract end to end:
+// the marshalled stats blob itself exposes the cache-hit fields the
+// run-level lift mirrors.
+func TestFleetStatsBlobCarriesJoinKeys(t *testing.T) {
+	st := fasttts.FleetStats{CacheHitRate: 0.5, CacheHitTokens: 100}
+	raw, err := json.Marshal(fleetRunJSON("prefix", st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run map[string]any
+	if err := json.Unmarshal(raw, &run); err != nil {
+		t.Fatal(err)
+	}
+	blob, ok := run["stats"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats blob missing: %s", raw)
+	}
+	if blob["CacheHitRate"] != 0.5 {
+		t.Errorf("stats blob CacheHitRate = %v, want 0.5", blob["CacheHitRate"])
+	}
+	if run["cache_hit_rate"] != 0.5 {
+		t.Errorf("run cache_hit_rate = %v, want 0.5", run["cache_hit_rate"])
+	}
+}
+
+func withRun(r reportJSON, run runJSON) reportJSON {
+	r.Runs = append(r.Runs, run)
+	return r
+}
+
+func equalJSON(got, want any) bool {
+	g, _ := json.Marshal(got)
+	w, _ := json.Marshal(want)
+	return string(g) == string(w)
+}

@@ -44,6 +44,7 @@ import (
 
 	"fasttts/internal/core"
 	"fasttts/internal/metrics"
+	"fasttts/internal/obs"
 	"fasttts/internal/rng"
 	"fasttts/internal/sched"
 	"fasttts/internal/search"
@@ -110,6 +111,16 @@ type Config struct {
 	// completes. nil (the default) disables strategies — behavior is
 	// bit-identical to pre-strategy builds.
 	Strategy search.Strategy
+	// Obs, when non-nil, attaches the request-lifecycle span flight
+	// recorder fleet-wide: every device's loop emits lifecycle spans
+	// onto its own track (device i on Device(i), warm-pool joins
+	// included), and the fleet driver emits routing decisions, requeue
+	// hops, hedge placements, and control actions onto the control
+	// track. nil (the default) is strictly off — no allocations, no
+	// behavioral difference. Both engines emit identical per-track
+	// sequences, so sequential-vs-sharded traces are bit-identical at
+	// every shard count.
+	Obs *obs.Recorder
 }
 
 // Result is one fleet-served request: the device-level telemetry plus
@@ -151,6 +162,10 @@ type Outcome struct {
 	// Config.SLOLatency), so Stats can summarize without rescanning
 	// Results.
 	Serve *metrics.ServeAccum
+	// Attribution is the latency-attribution rollup of the run's span
+	// recorder (obs.Attribute over the merged trace); nil when the run
+	// had no recorder attached.
+	Attribution *metrics.AttributionStats
 }
 
 // Stats reduces the outcome to fleet-level aggregates. sloLatency is the
@@ -166,6 +181,7 @@ func (o *Outcome) Stats(sloLatency float64) metrics.FleetStats {
 		PrefixMisses: o.PrefixMisses,
 		SLOLatency:   sloLatency,
 		Control:      o.Control,
+		Attribution:  o.Attribution,
 	}
 	if o.Serve != nil && o.Serve.SLOLatency == sloLatency {
 		in.Serve = o.Serve
@@ -318,6 +334,17 @@ type run struct {
 	cp      int
 
 	el *elastic // nil without a controller
+
+	// Observability state (all nil/false without a recorder): obs is the
+	// fleet recorder, ctl its control-plane track, candSpans whether
+	// routing emits scored-candidate spans — only for view-reading
+	// routers, whose arrivals are event barriers in both engines (the
+	// sharded span fast path intentionally routes view-oblivious
+	// arrivals against stale views, so candidate loads there would
+	// diverge between engines; the decisions themselves never read them).
+	obs       *obs.Recorder
+	ctl       *obs.Track
+	candSpans bool
 }
 
 // hedgePair tracks one hedged request's two copies. dev holds the fleet
@@ -381,6 +408,15 @@ func (f *Fleet) newRun(reqs []core.Request) (*run, error) {
 	}
 	if wa, ok := f.cfg.Router.(WorkAware); ok {
 		r.needWork = wa.NeedsOutstandingWork()
+	}
+	if f.cfg.Obs != nil {
+		r.obs = f.cfg.Obs
+		r.ctl = f.cfg.Obs.Control()
+		vo, ok := f.cfg.Router.(ViewOblivious)
+		r.candSpans = !ok || !vo.RouteViewOblivious()
+		for i, d := range devs {
+			d.loop.SetObs(f.cfg.Obs.Device(i))
+		}
 	}
 	if f.cfg.Metrics == metrics.ModeStreaming {
 		r.acc.EnableStreaming(f.cfg.SLOLatency)
@@ -616,7 +652,13 @@ func (r *run) deliver(dev int, sv core.ServedResult) {
 		d.tokens += sv.UsefulTokens
 	}
 	if r.el != nil {
-		r.el.observe(sv, d)
+		// Observe the settled result (requeue-adjusted arrival and
+		// latencies), not the raw device completion: the control window
+		// must see the client-perceived telemetry, and the sharded
+		// engine already observes the built result — feeding the raw
+		// one here would let the engines' control signals drift apart
+		// on requeued requests.
+		r.el.observe(res.ServedResult, d)
 	}
 }
 
@@ -650,7 +692,14 @@ func (r *run) filterHedge(sv core.ServedResult) (core.ServedResult, bool) {
 		return sv, false
 	}
 	pair.done = true
+	winDev := pair.dev[slot]
 	pair.dev[slot] = -1
+	// Record which copy the fleet actually delivered: within one event
+	// window completions merge in device-index order, so the winner is
+	// not always the earliest finish instant — the attribution pass
+	// needs the resolution, not a guess.
+	r.ctl.Emit(obs.Span{Kind: obs.KindHedgeWin, Tag: sv.Tag,
+		Start: sv.Finish, End: sv.Finish, V1: float64(winDev)})
 	if od := pair.dev[1-slot]; od >= 0 {
 		pair.dev[1-slot] = -1
 		loserTag := orig
@@ -687,6 +736,10 @@ func (r *run) applyCancel(ce cancelEvent) {
 	if !ok {
 		return // the copy already completed (and was swallowed)
 	}
+	if r.ctl != nil {
+		r.ctl.Emit(obs.Span{Kind: obs.KindCancelReq, Tag: ce.tag, Start: ce.at, End: ce.at,
+			V1: float64(ce.dev), Flag: started})
+	}
 	if a, found := d.acct[ce.tag]; found {
 		delete(d.acct, ce.tag)
 		if d.marker[a.key] == ce.tag {
@@ -716,6 +769,7 @@ func (r *run) failDevice(ft float64, fi int) {
 	d.failedAt = ft
 	r.wakeRemove(fi)
 	r.dropView(fi)
+	requeued := 0
 	for _, rq := range d.loop.Fail() {
 		if r.hedging() {
 			orig, slot := hedgeOrig(rq.Tag)
@@ -729,6 +783,13 @@ func (r *run) failDevice(ft float64, fi int) {
 		r.out.Requeues++
 		heap.Push(&r.requeued, pendingReq{req: rq, requeues: r.requeues[rq.Tag], seq: r.nextSeq})
 		r.nextSeq++
+		requeued++
+		if r.ctl != nil {
+			r.ctl.Emit(obs.Span{Kind: obs.KindRequeue, Tag: rq.Tag, Start: ft, End: ft, V1: float64(fi)})
+		}
+	}
+	if r.ctl != nil {
+		r.ctl.Emit(obs.Span{Kind: obs.KindFailDev, Start: ft, End: ft, V1: float64(fi), N: requeued})
 	}
 }
 
@@ -775,6 +836,9 @@ func (r *run) routeArrival(pr pendingReq) error {
 		if r.el != nil {
 			r.el.win.Rejected++
 		}
+		if r.ctl != nil {
+			r.ctl.Emit(obs.Span{Kind: obs.KindShed, Tag: pr.req.Tag, Start: at, End: at, N: pr.requeues})
+		}
 		return nil
 	}
 	rv := RequestView{
@@ -790,12 +854,32 @@ func (r *run) routeArrival(pr pendingReq) error {
 			r.f.cfg.Router.Name(), pick, len(r.vs))
 	}
 	di := r.vs[pick].Index
+	r.emitRoute(rv.Tag, at, di)
 	r.applyStrategy(&pr.req, di)
 	r.pushTo(di, pr.req, rv.PrefixKey)
 	if r.hedging() && pr.requeues == 0 && len(r.vs) >= 2 {
 		return r.routeTwin(pr.req, rv, pick)
 	}
 	return nil
+}
+
+// emitRoute records one routing decision on the control track: the
+// scored candidates (view-reading routers only, whose arrivals are
+// event barriers in both engines — see run.candSpans), then the pick.
+// Shared by the sequential route path and the sharded span pre-route so
+// both engines emit the identical control-track sequence.
+func (r *run) emitRoute(tag int, at float64, di int) {
+	if r.ctl == nil {
+		return
+	}
+	if r.candSpans {
+		for _, v := range r.vs {
+			r.ctl.Emit(obs.Span{Kind: obs.KindRouteCand, Tag: tag, Start: at, End: at,
+				N: v.Index, V1: v.OutstandingWork, V2: float64(v.Pending)})
+		}
+	}
+	r.ctl.Emit(obs.Span{Kind: obs.KindRoute, Tag: tag, Start: at, End: at,
+		V1: float64(di), N: len(r.vs)})
 }
 
 // applyStrategy stamps the request's effective strategy at routing: the
@@ -857,6 +941,18 @@ func (r *run) routeTwin(rq core.Request, rv RequestView, primaryPick int) error 
 			r.f.cfg.Router.Name(), pick, len(twinVs))
 	}
 	ti := twinVs[pick].Index
+	if r.ctl != nil {
+		if r.candSpans {
+			for _, v := range twinVs {
+				r.ctl.Emit(obs.Span{Kind: obs.KindRouteCand, Tag: rq.Tag, Start: rv.Arrival, End: rv.Arrival,
+					N: v.Index, V1: v.OutstandingWork, V2: float64(v.Pending)})
+			}
+		}
+		r.ctl.Emit(obs.Span{Kind: obs.KindRoute, Tag: rq.Tag, Start: rv.Arrival, End: rv.Arrival,
+			V1: float64(ti), N: len(twinVs)})
+		r.ctl.Emit(obs.Span{Kind: obs.KindHedge, Tag: orig, Start: rv.Arrival, End: rv.Arrival,
+			V1: float64(r.vs[primaryPick].Index), V2: float64(ti)})
+	}
 	r.hedges[orig] = &hedgePair{dev: [2]int{r.vs[primaryPick].Index, ti}}
 	r.pushTo(ti, rq, rv.PrefixKey)
 	return nil
@@ -1070,6 +1166,14 @@ func (r *run) finish() {
 	r.out.Serve = r.acc.Serve()
 	if r.el != nil {
 		r.el.finish(r.out)
+	}
+	if r.obs != nil {
+		// Latency attribution runs once, on the driver, over the merged
+		// span stream — after every worker has joined, so the read is
+		// ordered by the barrier protocol.
+		st := obs.Summarize(obs.Attribute(r.obs.Spans()))
+		r.acc.Attr = st
+		r.out.Attribution = &st
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"fasttts/internal/control"
 	"fasttts/internal/core"
 	"fasttts/internal/metrics"
+	"fasttts/internal/obs"
 	"fasttts/internal/rng"
 	"fasttts/internal/search"
 )
@@ -247,6 +248,10 @@ func (el *elastic) signals(r *run, now float64) control.Signals {
 func (el *elastic) tick(r *run, now float64) {
 	sig := el.signals(r, now)
 	el.stats.Ticks++
+	if r.ctl != nil {
+		r.ctl.Emit(obs.Span{Kind: obs.KindTick, Start: now, End: now,
+			N: sig.Routable, V1: sig.Utilization, V2: sig.QueueDelay})
+	}
 	for _, a := range el.ctl.Decide(sig, el.rand) {
 		var rec ActionRecord
 		switch a.Verb {
@@ -285,6 +290,9 @@ func (el *elastic) scaleUp(r *run, now float64, n int) ActionRecord {
 		r.devs = append(r.devs, dev)
 		r.posInVs = append(r.posInVs, -1)
 		r.wakeGrow(1)
+		if r.obs != nil {
+			dev.loop.SetObs(r.obs.Device(idx))
+		}
 		el.joins = append(el.joins, joinEvent{at: dev.joinAt, dev: idx})
 		rec.Devices = append(rec.Devices, idx)
 		rec.Applied++
@@ -306,6 +314,9 @@ func (el *elastic) completeJoin(r *run) {
 	r.refreshView(j.dev)
 	if n := len(r.vs); n > el.stats.PeakDevices {
 		el.stats.PeakDevices = n
+	}
+	if r.ctl != nil {
+		r.ctl.Emit(obs.Span{Kind: obs.KindJoin, Start: j.at, End: j.at, V1: float64(j.dev)})
 	}
 }
 
@@ -345,6 +356,9 @@ func (el *elastic) scaleDown(r *run, now float64, n int) ActionRecord {
 		rec.Devices = append(rec.Devices, victim)
 		rec.Applied++
 		el.stats.ScaleDowns++
+		if r.ctl != nil {
+			r.ctl.Emit(obs.Span{Kind: obs.KindDrain, Start: now, End: now, V1: float64(victim)})
+		}
 	}
 	return rec
 }

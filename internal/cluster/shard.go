@@ -56,6 +56,7 @@ import (
 
 	"fasttts/internal/core"
 	"fasttts/internal/metrics"
+	"fasttts/internal/obs"
 )
 
 // spawnThreshold is the minimum number of per-pass device tasks worth
@@ -293,6 +294,10 @@ func (ss *shardSet) runSpan(r *run, structAt float64, bounded bool) error {
 				Device:   -1,
 				Requeues: pr.requeues,
 			})
+			if r.ctl != nil {
+				r.ctl.Emit(obs.Span{Kind: obs.KindShed, Tag: pr.req.Tag,
+					Start: pr.req.Arrival, End: pr.req.Arrival, N: pr.requeues})
+			}
 			continue
 		}
 		rv := RequestView{
@@ -309,6 +314,7 @@ func (ss *shardSet) runSpan(r *run, structAt float64, bounded bool) error {
 				router.Name(), pick, len(r.vs))
 		}
 		di := r.vs[pick].Index
+		r.emitRoute(rv.Tag, pr.req.Arrival, di)
 		r.applyStrategy(&pr.req, di)
 		if len(ss.pushes[di]) == 0 {
 			touched = append(touched, di)

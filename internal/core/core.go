@@ -23,6 +23,7 @@ import (
 	"fasttts/internal/memplane"
 	"fasttts/internal/metrics"
 	"fasttts/internal/model"
+	"fasttts/internal/obs"
 	"fasttts/internal/search"
 	"fasttts/internal/trace"
 	"fasttts/internal/workload"
@@ -111,7 +112,14 @@ type Config struct {
 	Strategy search.Strategy
 	Opts     Options
 	Recorder *trace.Recorder
-	Seed     uint64
+	// Obs, when non-nil, attaches the request-lifecycle span flight
+	// recorder: the loop emits admission, queue, slice, and completion
+	// spans onto the recorder's device-0 track. nil (the default) is
+	// strictly off — every emission site short-circuits on a nil track,
+	// adding zero allocations and zero behavioral difference. Tracing
+	// observes scheduling; it never perturbs it.
+	Obs  *obs.Recorder
+	Seed uint64
 }
 
 // KVBudget returns the KV memory available after weights and reservation.

@@ -6,6 +6,7 @@ import (
 
 	"fasttts/internal/memplane"
 	"fasttts/internal/metrics"
+	"fasttts/internal/obs"
 	"fasttts/internal/sched"
 	"fasttts/internal/search"
 	"fasttts/internal/workload"
@@ -94,6 +95,7 @@ type session struct {
 	est     float64 // estimated total service demand, token units
 	lastRem float64 // remaining-work estimate as of the last slice (load index term)
 	slices  int
+	width   int // effective search width, resolved at service start
 	done    bool
 
 	// mem is the request's footprint on the device's KV memory plane
@@ -152,7 +154,7 @@ func (s *Server) RunClosedLoop(probs []*workload.Problem, cl workload.ClosedLoop
 		next++
 		return rq, true
 	}
-	l := &Loop{s: s, queue: queue, feeder: feeder, scale: 1, plane: s.newPlane()}
+	l := &Loop{s: s, queue: queue, feeder: feeder, scale: 1, plane: s.newPlane(), obs: s.cfg.Obs.Device(0)}
 	for _, rq := range queue {
 		l.queuedWork += s.estimateWork(rq)
 	}
@@ -217,6 +219,10 @@ type Loop struct {
 	probeFn func(local float64) bool
 
 	candBuf []sched.ServeRequest // reused policy-view buffer (per-slice)
+
+	// obs is the loop's span flight-recorder track; nil (the default)
+	// disables every emission site at the cost of one pointer check.
+	obs *obs.Track
 }
 
 // preemptProbe is the §4.1.2 preemption condition of the slice in
@@ -229,6 +235,7 @@ type preemptProbe struct {
 	sliceStart    float64 // loop clock at slice start
 	localStart    float64 // solver clock at slice start
 	scale         float64 // straggler factor of the slice
+	hit           bool    // probe fired during the slice (observability only)
 }
 
 // NewLoop returns a steppable loop over the given open-loop requests
@@ -236,7 +243,7 @@ type preemptProbe struct {
 func (s *Server) NewLoop(reqs []Request) *Loop {
 	queue := append([]Request(nil), reqs...)
 	sort.SliceStable(queue, func(i, j int) bool { return queue[i].Arrival < queue[j].Arrival })
-	l := &Loop{s: s, queue: queue, scale: 1, plane: s.newPlane()}
+	l := &Loop{s: s, queue: queue, scale: 1, plane: s.newPlane(), obs: s.cfg.Obs.Device(0)}
 	for _, rq := range queue {
 		l.queuedWork += s.estimateWork(rq)
 	}
@@ -271,6 +278,12 @@ func (l *Loop) PlaneStats() memplane.Stats {
 func planeKey(p *workload.Problem) string {
 	return fmt.Sprintf("%s/%d", p.Dataset, p.Index)
 }
+
+// SetObs attaches a span flight-recorder track to the loop; the fleet
+// layer assigns each device its own track on the shared recorder. A nil
+// track (the default) disables every emission site. Call before the
+// first StepTo.
+func (l *Loop) SetObs(t *obs.Track) { l.obs = t }
 
 // SetScale sets the loop's straggler factor: every device slice consumes
 // scale× its nominal duration of wall-clock time (thermal throttling,
@@ -369,11 +382,22 @@ func (l *Loop) Fail() []Request {
 			if c.mem != nil {
 				l.plane.Finish(c.mem)
 			}
+			if l.obs != nil {
+				l.obs.Emit(obs.Span{Kind: obs.KindWithdraw, Tag: c.req.Tag, Start: l.now, End: l.now, Flag: c.started})
+			}
+		}
+	}
+	if l.obs != nil {
+		for _, rq := range l.queue[l.next:] {
+			l.obs.Emit(obs.Span{Kind: obs.KindWithdraw, Tag: rq.Tag, Start: l.now, End: l.now})
 		}
 	}
 	out = append(out, l.queue[l.next:]...)
 	l.queue = l.queue[:l.next]
 	l.liveWork, l.queuedWork = 0, 0
+	if l.obs != nil {
+		l.obs.Emit(obs.Span{Kind: obs.KindFailStop, Start: l.now, End: l.now, N: len(out)})
+	}
 	return out
 }
 
@@ -396,6 +420,9 @@ func (l *Loop) Cancel(tag int) (started, ok bool) {
 			l.queuedWork -= l.s.estimateWork(l.queue[i])
 			l.queue = append(l.queue[:i], l.queue[i+1:]...)
 			l.reanchorWork()
+			if l.obs != nil {
+				l.obs.Emit(obs.Span{Kind: obs.KindCancel, Tag: tag, Start: l.now, End: l.now})
+			}
 			return false, true
 		}
 	}
@@ -408,6 +435,9 @@ func (l *Loop) Cancel(tag int) (started, ok bool) {
 			l.reanchorWork()
 			if c.mem != nil {
 				l.plane.Finish(c.mem)
+			}
+			if l.obs != nil {
+				l.obs.Emit(obs.Span{Kind: obs.KindCancel, Tag: tag, Start: l.now, End: l.now, Flag: c.started})
 			}
 			return c.started, true
 		}
@@ -462,9 +492,14 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		l.probeFn = func(local float64) bool {
 			p := &l.probe
 			if p.othersWaiting {
+				p.hit = true
 				return true
 			}
-			return p.pending >= 0 && p.sliceStart+(local-p.localStart)*p.scale >= p.pending
+			if p.pending >= 0 && p.sliceStart+(local-p.localStart)*p.scale >= p.pending {
+				p.hit = true
+				return true
+			}
+			return false
 		}
 	}
 	for !l.failed {
@@ -482,6 +517,9 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 					Arrival: rq.Arrival, Start: rq.Arrival, Finish: rq.Arrival,
 					Rejected: true, Tag: rq.Tag,
 				})
+				if l.obs != nil {
+					l.obs.Emit(obs.Span{Kind: obs.KindReject, Tag: rq.Tag, Start: rq.Arrival, End: rq.Arrival})
+				}
 				feed(rq.Arrival)
 				continue
 			}
@@ -495,6 +533,9 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 				// re-prefill penalty for non-resident tokens lands in the
 				// session's first slice.
 				c.mem, c.penalty = l.plane.Admit(planeKey(rq.Problem), rq.Problem.PromptTokens)
+			}
+			if l.obs != nil {
+				l.obs.Emit(obs.Span{Kind: obs.KindAdmit, Tag: rq.Tag, Start: rq.Arrival, End: l.now, V1: c.penalty, V2: est})
 			}
 		}
 		// Every session is live (completed ones are dropped eagerly), so
@@ -534,7 +575,9 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		if !c.started {
 			cfg := l.s.cfg
 			cfg.Strategy = l.s.effectiveStrategy(c.req)
-			if w := l.s.effectiveWidth(c.req); w != cfg.Policy.Width() {
+			w := l.s.effectiveWidth(c.req)
+			c.width = w
+			if w != cfg.Policy.Width() {
 				// Budget-degraded request: run the same algorithm at the
 				// narrowed width (the §4.1 search semantics are unchanged,
 				// only n shrinks).
@@ -551,6 +594,9 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 			c.solver = sv
 			c.started = true
 			c.start = l.now
+			if l.obs != nil {
+				l.obs.Emit(obs.Span{Kind: obs.KindQueue, Tag: c.req.Tag, Start: c.req.Arrival, End: l.now})
+			}
 		}
 
 		// Phase 2 precondition (§4.1.2): speculation only while the waiting
@@ -579,10 +625,14 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 		if err := c.solver.stepOnce(); err != nil {
 			return out, fmt.Errorf("core: serving %s/%d: %w", c.req.Problem.Dataset, c.req.Problem.Index, err)
 		}
-		delta := (c.solver.clk.Now() - l.probe.localStart) * l.scale
+		sliceStart := l.now
+		nom := c.solver.clk.Now() - l.probe.localStart
+		paid := 0.0
+		delta := nom * l.scale
 		if c.penalty > 0 {
 			// First slice: pay the admission-time re-prefill charge for the
 			// prompt tokens that were not resident on the memory plane.
+			paid = c.penalty
 			delta += c.penalty * l.scale
 			c.penalty = 0
 		}
@@ -595,6 +645,10 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 			// live KV usage beyond the prompt — per-beam decode state that
 			// widens and narrows as the search proceeds.
 			l.plane.SyncDecode(c.mem, int(c.solver.gen.Cache.UsedTokens())-c.req.Problem.PromptTokens)
+		}
+		if l.obs != nil {
+			l.obs.Emit(obs.Span{Kind: obs.KindSlice, Tag: c.req.Tag, Start: sliceStart, End: l.now,
+				V1: nom, V2: paid, N: c.width, Flag: l.probe.hit})
 		}
 
 		// Deadline strategy: a request whose deadline passed mid-solve is
@@ -632,6 +686,9 @@ func (l *Loop) StepTo(horizon float64) ([]ServedResult, error) {
 				Width:        l.s.effectiveWidth(c.req),
 				Tag:          c.req.Tag,
 			})
+			if l.obs != nil {
+				l.obs.Emit(obs.Span{Kind: obs.KindFinish, Tag: c.req.Tag, Start: l.now, End: l.now, N: c.slices})
+			}
 			feed(l.now)
 		} else {
 			rem := l.s.remainingWork(c)

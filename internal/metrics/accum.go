@@ -33,6 +33,9 @@ type FleetAccum struct {
 	// PrefixHits / PrefixMisses count prompt-prefix tokens settled by
 	// this shard's devices.
 	PrefixHits, PrefixMisses int64
+	// Attr carries the latency-attribution rollup when the run had a
+	// span recorder attached; the zero value means no attribution.
+	Attr AttributionStats
 
 	samples []keyedSample
 	devices []keyedDevice
@@ -82,6 +85,7 @@ func (a *FleetAccum) AddDevice(index int, d FleetDevice) {
 // passes), keeping allocated capacity and the aggregation mode.
 func (a *FleetAccum) Reset() {
 	a.Requeues, a.PrefixHits, a.PrefixMisses = 0, 0, 0
+	a.Attr = AttributionStats{}
 	a.samples = a.samples[:0]
 	a.devices = a.devices[:0]
 	if a.serve != nil {
@@ -107,6 +111,7 @@ func (a *FleetAccum) MergeAll(bs ...*FleetAccum) {
 		a.Requeues += b.Requeues
 		a.PrefixHits += b.PrefixHits
 		a.PrefixMisses += b.PrefixMisses
+		a.Attr.Add(b.Attr)
 		if b.serve != nil {
 			if a.serve == nil {
 				a.serve = NewServeAccum(b.serve.SLOLatency)
@@ -135,6 +140,10 @@ func (a *FleetAccum) Input(sloLatency float64, control *ControlStats) FleetInput
 		SLOLatency:   sloLatency,
 		Control:      control,
 		Serve:        a.serve,
+	}
+	if a.Attr.Requests > 0 {
+		attr := a.Attr
+		in.Attribution = &attr
 	}
 	if a.serve == nil {
 		in.Samples = make([]ServeSample, len(a.samples))

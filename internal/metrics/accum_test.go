@@ -235,6 +235,55 @@ func TestFleetAccumMergeAllAllocs(t *testing.T) {
 	}
 }
 
+// TestFleetAccumAttribution pins the attribution rollup's path through
+// the accumulator: plain field-wise sums fold order-independently
+// through MergeAll, Input surfaces a non-nil (and aliasing-safe)
+// Attribution exactly when requests were attributed, and Reset clears
+// it.
+func TestFleetAccumAttribution(t *testing.T) {
+	mk := func(reqs int, wall float64) *FleetAccum {
+		a := &FleetAccum{}
+		a.Attr = AttributionStats{
+			Requests: reqs, Hedged: reqs / 2,
+			Wall: wall, Queue: wall / 2, Service: wall / 4,
+			Reprefill: wall / 8, Straggler: wall / 16, Preemption: wall / 16,
+			HedgeWaste: 1, LostWork: 2,
+			Slices: 3 * reqs, Preemptions: reqs, Requeues: 1,
+		}
+		return a
+	}
+	want := AttributionStats{}
+	want.Add(mk(2, 8).Attr)
+	want.Add(mk(4, 16).Attr)
+	want.Add(mk(8, 32).Attr)
+	for _, order := range [][]float64{{8, 16, 32}, {32, 8, 16}, {16, 32, 8}} {
+		merged := &FleetAccum{}
+		for _, w := range order {
+			merged.Merge(mk(int(w)/4, w))
+		}
+		if merged.Attr != want {
+			t.Errorf("merge order %v: Attr = %+v, want %+v", order, merged.Attr, want)
+		}
+		in := merged.Input(0, nil)
+		if in.Attribution == nil || *in.Attribution != want {
+			t.Fatalf("Input attribution = %+v, want %+v", in.Attribution, want)
+		}
+		// Input copies the rollup: mutating the accumulator afterwards
+		// must not reach through the pointer.
+		merged.Attr.Requests++
+		if in.Attribution.Requests != want.Requests {
+			t.Fatal("Input.Attribution aliases the accumulator's rollup")
+		}
+		merged.Reset()
+		if merged.Attr != (AttributionStats{}) {
+			t.Fatalf("Reset left Attr = %+v", merged.Attr)
+		}
+		if in := merged.Input(0, nil); in.Attribution != nil {
+			t.Fatal("empty rollup must surface a nil Attribution")
+		}
+	}
+}
+
 // TestFleetAccumInputShape pins the assembled FleetInput: samples in key
 // order and devices dense in index order, regardless of which shard
 // reported what.

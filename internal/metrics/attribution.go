@@ -1,0 +1,51 @@
+package metrics
+
+// AttributionStats is the fleet rollup of the observability layer's
+// per-request latency attribution (obs.Attribute): every finished
+// request's wall latency decomposed into additive components, summed.
+// Every field is a plain sum, so partials fold order-independently
+// through FleetAccum.MergeAll; in practice the attribution pass runs
+// once on the driver over the merged span stream, so sequential and
+// sharded engines produce bit-identical totals.
+type AttributionStats struct {
+	// Requests counts attributed (finished) requests; Hedged counts how
+	// many of them ran with a hedged twin.
+	Requests int
+	Hedged   int
+
+	// Wall sums attributed wall latency; the five components below sum
+	// back to it (per request, within 1 ulp).
+	Wall       float64
+	Queue      float64
+	Service    float64
+	Reprefill  float64
+	Straggler  float64
+	Preemption float64
+
+	// HedgeWaste / LostWork are overlapping device-time side channels
+	// (losing hedge copies, work lost to fail-stops) outside the serial
+	// wall decomposition.
+	HedgeWaste float64
+	LostWork   float64
+
+	Slices      int
+	Preemptions int
+	Requeues    int
+}
+
+// Add folds b into a (plain field-wise sums).
+func (a *AttributionStats) Add(b AttributionStats) {
+	a.Requests += b.Requests
+	a.Hedged += b.Hedged
+	a.Wall += b.Wall
+	a.Queue += b.Queue
+	a.Service += b.Service
+	a.Reprefill += b.Reprefill
+	a.Straggler += b.Straggler
+	a.Preemption += b.Preemption
+	a.HedgeWaste += b.HedgeWaste
+	a.LostWork += b.LostWork
+	a.Slices += b.Slices
+	a.Preemptions += b.Preemptions
+	a.Requeues += b.Requeues
+}

@@ -98,6 +98,9 @@ type FleetStats struct {
 	// Control summarizes the elastic control plane's activity; nil when
 	// the run had no controller.
 	Control *ControlStats
+	// Attribution, when non-nil, is the latency-attribution rollup of
+	// the run's span recorder (nil when tracing was off).
+	Attribution *AttributionStats
 }
 
 // FleetInput bundles the inputs of SummarizeFleet.
@@ -123,14 +126,18 @@ type FleetInput struct {
 	// Control, when non-nil, is the controller activity summary carried
 	// through to FleetStats.Control.
 	Control *ControlStats
+	// Attribution, when non-nil, is the span recorder's latency
+	// attribution, carried through to FleetStats.Attribution.
+	Attribution *AttributionStats
 }
 
 // SummarizeFleet reduces a fleet-served stream plus per-device telemetry
 // to fleet-level aggregates.
 func SummarizeFleet(in FleetInput) FleetStats {
 	st := FleetStats{
-		Requeues: in.Requeues,
-		Control:  in.Control,
+		Requeues:    in.Requeues,
+		Control:     in.Control,
+		Attribution: in.Attribution,
 	}
 	if in.Serve != nil {
 		st.ServeStats = in.Serve.Stats()

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// perfettoEvent is one Chrome-trace-event object. Field order (and the
+// struct-based args) keep the emitted JSON byte-deterministic for a
+// given span stream.
+type perfettoEvent struct {
+	Name string        `json:"name"`
+	Ph   string        `json:"ph"`
+	Ts   float64       `json:"ts"`
+	Dur  *float64      `json:"dur,omitempty"`
+	Pid  int           `json:"pid"`
+	Tid  int           `json:"tid"`
+	S    string        `json:"s,omitempty"`
+	Args *perfettoArgs `json:"args,omitempty"`
+}
+
+type perfettoArgs struct {
+	Name string  `json:"name,omitempty"`
+	Tag  *int    `json:"tag,omitempty"`
+	V1   float64 `json:"v1,omitempty"`
+	V2   float64 `json:"v2,omitempty"`
+	N    int     `json:"n,omitempty"`
+	Flag bool    `json:"flag,omitempty"`
+}
+
+type perfettoFile struct {
+	TraceEvents     []perfettoEvent `json:"traceEvents"`
+	DisplayTimeUnit string          `json:"displayTimeUnit"`
+}
+
+// WritePerfetto serializes a span stream as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Virtual
+// seconds map to trace microseconds. Each device gets its own thread
+// lane (tid = device+1); the control plane is tid 0. The output is
+// byte-deterministic: identical span streams produce identical files.
+func WritePerfetto(w io.Writer, spans []Span) error {
+	tid := func(track int) int { return track + 1 } // ControlTrack (-1) -> 0
+
+	// Thread-name metadata: control plane plus every device track seen.
+	maxDev := -1
+	seenControl := false
+	for _, s := range spans {
+		if s.Track == ControlTrack {
+			seenControl = true
+		} else if s.Track > maxDev {
+			maxDev = s.Track
+		}
+	}
+	events := make([]perfettoEvent, 0, len(spans)+maxDev+2)
+	if seenControl {
+		events = append(events, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: 0,
+			Args: &perfettoArgs{Name: "control plane"},
+		})
+	}
+	for d := 0; d <= maxDev; d++ {
+		events = append(events, perfettoEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tid(d),
+			Args: &perfettoArgs{Name: fmt.Sprintf("device %d", d)},
+		})
+	}
+
+	for _, s := range spans {
+		name := s.Kind.String()
+		if s.Kind.requestScoped() {
+			name = fmt.Sprintf("%s #%d", s.Kind, s.Tag)
+		}
+		tag := s.Tag
+		ev := perfettoEvent{
+			Name: name,
+			Ts:   s.Start * 1e6,
+			Pid:  0,
+			Tid:  tid(s.Track),
+			Args: &perfettoArgs{Tag: &tag, V1: s.V1, V2: s.V2, N: s.N, Flag: s.Flag},
+		}
+		if !s.Kind.requestScoped() {
+			ev.Args.Tag = nil
+		}
+		if s.End > s.Start {
+			dur := (s.End - s.Start) * 1e6
+			ev.Ph = "X"
+			ev.Dur = &dur
+		} else {
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(perfettoFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -76,6 +76,11 @@ type ScenarioOptions struct {
 	// that capacity in bytes, negative disables the plane entirely, and 0
 	// keeps each device's scenario-defined setting.
 	KVPlaneBytes int64
+	// Trace, when non-nil, attaches the span flight recorder to the run
+	// (either target) for Perfetto export and latency attribution.
+	// Tracing never perturbs the run: the TraceJSONL goldens replay
+	// byte-identically with or without it.
+	Trace *Recorder
 }
 
 // ScenarioRun is the outcome of one RunScenario call.
@@ -161,6 +166,7 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioRun, error) {
 			Policy:      spec.Serve.Policy,
 			MaxInFlight: spec.Serve.MaxInFlight,
 			SLOLatency:  spec.SLOLatency,
+			Trace:       opts.Trace,
 		})
 		if err != nil {
 			return nil, err
@@ -212,6 +218,7 @@ func RunScenario(name string, opts ScenarioOptions) (*ScenarioRun, error) {
 			Strategy:    spec.Strategy,
 			Autoscale:   auto,
 			Parallelism: opts.Parallelism,
+			Trace:       opts.Trace,
 		})
 		if err != nil {
 			return nil, err

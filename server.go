@@ -75,6 +75,10 @@ type ServeConfig struct {
 	// or MetricsStreaming (constant-memory sketch percentiles, <1%
 	// relative error). See the package docs' "Streaming metrics".
 	Metrics MetricsMode
+	// Trace, when non-nil, attaches the span flight recorder: the engine
+	// records every request's full lifecycle for Perfetto export and
+	// latency attribution without perturbing the run. See Recorder.
+	Trace *Recorder
 }
 
 // ServeStats aggregates a served request stream (see Server.Stats).
@@ -121,6 +125,7 @@ func NewServerWith(sc ServeConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cc.Obs = sc.Trace.rec()
 	pol, err := sched.PolicyByName(sc.Policy)
 	if err != nil {
 		return nil, err
